@@ -1,0 +1,92 @@
+// ABL-QOS — §IV.B claim: "Quality of service: minimal performance
+// influence from one stream to another is achieved by provisioning enough
+// interconnect. This is equally important for quality of service and to
+// prevent leaking information across streams."
+//
+// Experiment: a victim stream shares a mesh with an aggressor that floods
+// bulk traffic. Three configurations: no QoS (same class), QoS priority
+// (victim in the realtime class), and spatial isolation (disjoint paths,
+// §IV.B dynamic hardware isolation). Reported: victim latency mean/p-like
+// max and — the side-channel proxy — how much the victim's latency reveals
+// about whether the aggressor was active.
+#include <cstdio>
+
+#include "common/event_queue.h"
+#include "noc/mesh.h"
+
+namespace {
+
+struct RunStats {
+  double mean_ns = 0.0;
+  double max_ns = 0.0;
+};
+
+// Victim sends 200 packets (0,0)->(3,0); aggressor (optionally) floods
+// (0,1)->(3,1) crossing the victim's column links when shared.
+RunStats RunVictim(bool aggressor_on, cim::noc::QosClass victim_class,
+                   bool disjoint_paths) {
+  cim::EventQueue queue;
+  cim::noc::MeshParams params;
+  params.width = 4;
+  params.height = 4;
+  params.link_bandwidth_gbps = 4.0;
+  auto noc = cim::noc::MeshNoc::Create(params, &queue);
+  if (!noc.ok()) return {};
+
+  std::uint64_t id = 1;
+  // Aggressor: heavy bulk flood along the shared row (or a far row when
+  // spatially isolated).
+  const std::uint16_t aggressor_row = disjoint_paths ? 3 : 0;
+  if (aggressor_on) {
+    for (int i = 0; i < 400; ++i) {
+      cim::noc::Packet p;
+      p.id = id++;
+      p.stream_id = 99;
+      p.source = {0, aggressor_row};
+      p.destination = {3, aggressor_row};
+      p.payload_bytes = 2048;
+      p.qos = cim::noc::QosClass::kBulk;
+      (void)noc->Inject(p);
+    }
+  }
+  for (int i = 0; i < 200; ++i) {
+    cim::noc::Packet p;
+    p.id = id++;
+    p.stream_id = 1;
+    p.source = {0, 0};
+    p.destination = {3, 0};
+    p.payload_bytes = 64;
+    p.qos = victim_class;
+    (void)noc->Inject(p);
+  }
+  queue.Run();
+  const cim::RunningStat* stat = noc->StreamLatency(1);
+  if (stat == nullptr) return {};
+  return RunStats{stat->mean(), stat->max()};
+}
+
+void Report(const char* name, cim::noc::QosClass victim_class,
+            bool disjoint) {
+  const RunStats quiet = RunVictim(false, victim_class, disjoint);
+  const RunStats noisy = RunVictim(true, victim_class, disjoint);
+  const double interference = noisy.mean_ns / quiet.mean_ns;
+  std::printf("%-26s %12.1f %12.1f %12.1f %14.2fx\n", name, quiet.mean_ns,
+              noisy.mean_ns, noisy.max_ns, interference);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: inter-stream isolation (victim latency, ns) "
+              "==\n");
+  std::printf("%-26s %12s %12s %12s %14s\n", "configuration", "quiet_mean",
+              "noisy_mean", "noisy_max", "interference");
+  Report("shared class (no QoS)", cim::noc::QosClass::kBulk, false);
+  Report("QoS priority (realtime)", cim::noc::QosClass::kRealtime, false);
+  Report("spatial isolation", cim::noc::QosClass::kBulk, true);
+  std::printf("\ninterference ~1.0x means the aggressor is invisible to the "
+              "victim — both the QoS and the information-leak goals of "
+              "SIV.B; shared-class traffic leaks load information through "
+              "latency\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// ABL-PHOT — §II.A claim: "photonics interconnects grow in importance,
+// since they enable communications from centimeters to kilometers at the
+// same energy per bit, varying only in the time of flight."
+//
+// Sweeps a 4 KiB transfer across link distances from 1 cm to 1 km and
+// prints energy-per-bit and latency for electrical vs photonic links, plus
+// the crossover distance — the quantitative backing for the multi-board /
+// edge-to-cloud interconnect choices the CIM vision assumes.
+#include <cstdio>
+
+#include "noc/photonic.h"
+
+int main() {
+  cim::noc::ElectricalLinkParams electrical;
+  cim::noc::PhotonicLinkParams photonic;
+  const double bytes = 4096.0;
+
+  std::printf("== Ablation: electrical vs photonic links (4 KiB transfer) "
+              "==\n");
+  std::printf("%-12s %16s %16s %14s %14s\n", "distance", "elec pJ/bit",
+              "photonic pJ/bit", "elec us", "photonic us");
+  for (double cm : {1.0, 5.0, 20.0, 100.0, 500.0, 10000.0, 100000.0}) {
+    auto e = electrical.Transfer(bytes, cm);
+    auto p = photonic.Transfer(bytes, cm);
+    char label[32];
+    if (cm < 100.0) {
+      std::snprintf(label, sizeof(label), "%.0f cm", cm);
+    } else {
+      std::snprintf(label, sizeof(label), "%.2g m", cm / 100.0);
+    }
+    if (e.ok()) {
+      std::printf("%-12s %16.3f %16.3f %14.4f %14.4f\n", label,
+                  e->energy_pj / (bytes * 8.0),
+                  p.ok() ? p->energy_pj / (bytes * 8.0) : 0.0,
+                  e->latency_ns * 1e-3, p.ok() ? p->latency_ns * 1e-3 : 0.0);
+    } else {
+      std::printf("%-12s %16s %16.3f %14s %14.4f\n", label, "unreachable",
+                  p.ok() ? p->energy_pj / (bytes * 8.0) : 0.0, "-",
+                  p.ok() ? p->latency_ns * 1e-3 : 0.0);
+    }
+  }
+  std::printf("\nenergy crossover at %.1f cm; beyond electrical reach "
+              "(%.0f cm) photonics is the only option — and its pJ/bit is "
+              "identical at 1 cm and 1 km, as the paper states\n",
+              cim::noc::PhotonicCrossoverCm(electrical, photonic),
+              electrical.max_reach_cm);
+  return 0;
+}

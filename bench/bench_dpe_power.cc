@@ -1,0 +1,53 @@
+// SEC6-PWR — §VI power claim: "power is 10^3-10^6 better than CPUs and
+// 10-10^3 better than GPUs".
+//
+// Power efficiency is energy per inference at matched work: the DPE's
+// advantage is that weights never move and the analog MAC is cheap, while
+// the CPU/GPU burn package power for the whole (much longer) latency.
+#include <cstdio>
+#include <vector>
+
+#include "baseline/cpu_model.h"
+#include "baseline/gpu_model.h"
+#include "baseline/pim_model.h"
+#include "common/rng.h"
+#include "dpe/analytical.h"
+
+int main() {
+  cim::Rng rng(44);
+  std::vector<cim::nn::Network> suite = cim::nn::BuildBenchmarkSuite(rng);
+  suite.push_back(
+      cim::nn::BuildMlp("mlp-huge", {4096, 8192, 4096, 1024}, rng));
+
+  cim::baseline::CpuModel cpu;
+  cim::baseline::GpuModel gpu;
+  cim::baseline::PimModel pim;
+  cim::dpe::AnalyticalDpeModel dpe;
+
+  std::printf("== Section VI: energy per batch-1 inference (uJ) ==\n");
+  std::printf("%-12s %12s %12s %12s %12s %12s %12s\n", "network", "cpu_uJ",
+              "gpu_uJ", "pim_uJ", "dpe_uJ", "cpu/dpe", "gpu/dpe");
+  double min_cpu = 1e300, max_cpu = 0.0, min_gpu = 1e300, max_gpu = 0.0;
+  for (const cim::nn::Network& net : suite) {
+    auto c = cpu.EstimateInference(net);
+    auto g = gpu.EstimateInference(net);
+    auto p = pim.EstimateInference(net);
+    auto d = dpe.EstimateInference(net);
+    if (!c.ok() || !g.ok() || !p.ok() || !d.ok()) continue;
+    const double cpu_ratio = c->energy_pj / d->energy_pj;
+    const double gpu_ratio = g->energy_pj / d->energy_pj;
+    min_cpu = std::min(min_cpu, cpu_ratio);
+    max_cpu = std::max(max_cpu, cpu_ratio);
+    min_gpu = std::min(min_gpu, gpu_ratio);
+    max_gpu = std::max(max_gpu, gpu_ratio);
+    std::printf("%-12s %12.4g %12.4g %12.4g %12.4g %12.3g %12.3g\n",
+                net.name.c_str(), c->energy_pj * 1e-6, g->energy_pj * 1e-6,
+                p->energy_pj * 1e-6, d->energy_pj * 1e-6, cpu_ratio,
+                gpu_ratio);
+  }
+  std::printf("\ncpu/dpe energy ratio: %.3g .. %.3g (paper: 1e3 .. 1e6)\n",
+              min_cpu, max_cpu);
+  std::printf("gpu/dpe energy ratio: %.3g .. %.3g (paper: 10 .. 1e3)\n",
+              min_gpu, max_gpu);
+  return 0;
+}

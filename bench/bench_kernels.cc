@@ -1,0 +1,140 @@
+// Microbenchmarks of the simulator's own hot kernels (google-benchmark):
+// crossbar analog cycle, bit-sliced MVM, stateful-logic adders, NoC packet
+// delivery, DPE analytical estimation, and the workload scorer. These are
+// simulator-engineering numbers (how fast the reproduction itself runs),
+// not paper results.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crossbar/mvm_engine.h"
+#include "dpe/analytical.h"
+#include "logic/arith.h"
+#include "noc/mesh.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+cim::crossbar::CrossbarParams QuietArray(std::size_t n) {
+  cim::crossbar::CrossbarParams p;
+  p.rows = n;
+  p.cols = n;
+  p.cell.read_noise_sigma = 0.0;
+  p.cell.write_noise_sigma = 0.0;
+  p.cell.endurance_cycles = 0;
+  p.cell.drift_nu = 0.0;
+  return p;
+}
+
+void BM_CrossbarCycle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto xbar = cim::crossbar::Crossbar::Create(QuietArray(n), cim::Rng(1));
+  if (!xbar.ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  std::vector<std::uint64_t> levels(n * n, 1);
+  (void)xbar->ProgramLevels(levels);
+  std::vector<std::uint64_t> drive(n, 1);
+  for (auto _ : state) {
+    auto cycle = xbar->Cycle(drive);
+    benchmark::DoNotOptimize(cycle);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_CrossbarCycle)->Arg(32)->Arg(128);
+
+void BM_MvmCompute(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  cim::crossbar::MvmEngineParams params;
+  params.array = QuietArray(128);
+  auto engine =
+      cim::crossbar::MvmEngine::Create(params, dim, dim, cim::Rng(2));
+  if (!engine.ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  cim::Rng rng(3);
+  std::vector<double> weights(dim * dim);
+  for (auto& w : weights) w = rng.Uniform(-1.0, 1.0);
+  (void)engine->ProgramWeights(weights);
+  std::vector<double> x(dim, 0.5);
+  for (auto _ : state) {
+    auto result = engine->Compute(x);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim * dim));
+}
+BENCHMARK(BM_MvmCompute)->Arg(32)->Arg(128);
+
+void BM_ImplyAdder(benchmark::State& state) {
+  cim::logic::LogicParams params;
+  params.register_count = 16;
+  cim::logic::ImplyEngine engine(params);
+  std::uint64_t a = 0x12345678, b = 0x9abcdef0;
+  for (auto _ : state) {
+    auto result = cim::logic::ImplyRippleAdd(engine, a++, b++, 32);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ImplyAdder);
+
+void BM_NocAllToAll(benchmark::State& state) {
+  const auto side = static_cast<std::uint16_t>(state.range(0));
+  for (auto _ : state) {
+    cim::EventQueue queue;
+    cim::noc::MeshParams params;
+    params.width = side;
+    params.height = side;
+    auto noc = cim::noc::MeshNoc::Create(params, &queue);
+    if (!noc.ok()) {
+      state.SkipWithError("create failed");
+      return;
+    }
+    std::uint64_t id = 1;
+    for (std::uint16_t x = 0; x < side; ++x) {
+      for (std::uint16_t y = 0; y < side; ++y) {
+        cim::noc::Packet p;
+        p.id = id++;
+        p.source = {x, y};
+        p.destination = {static_cast<std::uint16_t>(side - 1 - x),
+                         static_cast<std::uint16_t>(side - 1 - y)};
+        (void)noc->Inject(p);
+      }
+    }
+    queue.Run();
+    benchmark::DoNotOptimize(noc->telemetry().delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          side * side);
+}
+BENCHMARK(BM_NocAllToAll)->Arg(4)->Arg(8);
+
+void BM_DpeAnalyticalEstimate(benchmark::State& state) {
+  cim::Rng rng(4);
+  const cim::nn::Network net =
+      cim::nn::BuildMlp("m", {1024, 2048, 1024, 100}, rng);
+  cim::dpe::AnalyticalDpeModel model;
+  for (auto _ : state) {
+    auto est = model.EstimateInference(net);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_DpeAnalyticalEstimate);
+
+void BM_WorkloadTraceGeneration(benchmark::State& state) {
+  cim::Rng rng(5);
+  int cls = 0;
+  for (auto _ : state) {
+    const auto app = static_cast<cim::workloads::AppClass>(
+        cls++ % cim::workloads::kAppClassCount);
+    auto trace = cim::workloads::GenerateTrace(app, 1.0, rng);
+    benchmark::DoNotOptimize(trace);
+  }
+}
+BENCHMARK(BM_WorkloadTraceGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

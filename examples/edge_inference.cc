@@ -1,0 +1,71 @@
+// Edge computing use case (§II.B): a battery-powered sensor node runs CNN
+// inference *in memory* and ships only tagged metadata to the cloud,
+// versus shipping raw frames for remote processing.
+//
+// The example quantifies exactly what the paper argues: CIM at the edge
+// slashes both the energy per frame and the bytes that must leave the
+// device.
+#include <cstdio>
+
+#include "baseline/cpu_model.h"
+#include "common/rng.h"
+#include "dpe/accelerator.h"
+#include "nn/network.h"
+
+int main() {
+  cim::Rng rng(11);
+  // A small classifier over 16x16 sensor frames.
+  const cim::nn::Network net = cim::nn::BuildCnn("edge-cnn", 1, 16, 16, 8,
+                                                 rng);
+  const double frame_bytes = 16.0 * 16.0;       // 8-bit pixels
+  const double metadata_bytes = 8.0 + 4.0;      // class scores + tag
+  // Radio: LoRa/BLE-class link energy.
+  const double radio_pj_per_byte = 2.0e5;       // 0.2 uJ/byte
+
+  // --- Option A: CIM inference on-device, ship metadata -----------------
+  auto accelerator =
+      cim::dpe::DpeAccelerator::Create(cim::dpe::DpeParams::Isaac(), net,
+                                       cim::Rng(12));
+  if (!accelerator.ok()) {
+    std::printf("accelerator error: %s\n",
+                accelerator.status().ToString().c_str());
+    return 1;
+  }
+  cim::nn::Tensor frame({1, 16, 16});
+  for (auto& v : frame.vec()) v = rng.Uniform(0.0, 1.0);
+  cim::CostReport inference_cost;
+  auto scores = (*accelerator)->Infer(frame, &inference_cost);
+  if (!scores.ok()) {
+    std::printf("inference error: %s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < scores->size(); ++i) {
+    if ((*scores)[i] > (*scores)[best]) best = i;
+  }
+  const double cim_energy_pj =
+      inference_cost.energy_pj + metadata_bytes * radio_pj_per_byte;
+
+  // --- Option B: ship the raw frame to the cloud (CPU infers there) ------
+  cim::baseline::CpuModel cloud_cpu;
+  auto cloud_cost = cloud_cpu.EstimateInference(net);
+  const double raw_ship_energy_pj = frame_bytes * radio_pj_per_byte;
+
+  std::printf("edge frame classified as class %zu (score %.3f)\n\n", best,
+              (*scores)[best]);
+  std::printf("%-34s %14s %14s\n", "option", "device_uJ", "bytes uplinked");
+  std::printf("%-34s %14.3f %14.0f\n", "A: CIM on-device + metadata",
+              cim_energy_pj * 1e-6, metadata_bytes);
+  std::printf("%-34s %14.3f %14.0f\n", "B: raw frame to cloud",
+              raw_ship_energy_pj * 1e-6, frame_bytes);
+  std::printf("\nradio dominates: option A moves %.0fx fewer bytes and "
+              "spends %.1fx less device energy per frame\n",
+              frame_bytes / metadata_bytes,
+              raw_ship_energy_pj / cim_energy_pj);
+  if (cloud_cost.ok()) {
+    std::printf("(cloud-side CPU inference for option B would additionally "
+                "burn %.1f uJ per frame in the datacenter)\n",
+                cloud_cost->energy_pj * 1e-6);
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// §III.B demo: the three dataflow programming models on one fabric.
+//
+//   static  — a pre-configured stream path through programmed tiles,
+//   dynamic — per-packet routing decided from the payload at each hop,
+//   self-programmable — kCode packets carry new programs that reconfigure
+//                        a micro-unit on arrival (authenticated, §IV.A).
+#include <cstdio>
+#include <optional>
+
+#include "arch/fabric.h"
+
+namespace {
+
+void LoadProgram(cim::arch::Fabric& fabric, cim::noc::NodeId node,
+                 cim::arch::Program program) {
+  auto tile = fabric.TileAt(node);
+  if (tile.ok()) {
+    (void)(*tile)->micro_unit(0).LoadProgram(std::move(program));
+  }
+}
+
+}  // namespace
+
+int main() {
+  cim::arch::FabricParams params;
+  params.mesh.width = 4;
+  params.mesh.height = 4;
+  params.encrypt_data = true;       // packets in flight are encrypted (§IV.A)
+  params.authenticate_code = true;  // code packets carry a keyed tag
+  auto fabric_or = cim::arch::Fabric::Create(params);
+  if (!fabric_or.ok()) return 1;
+  cim::arch::Fabric& fabric = **fabric_or;
+
+  // ---- 1. static dataflow ------------------------------------------------
+  LoadProgram(fabric, {0, 0}, {{cim::arch::OpCode::kMulScalar, 2.0}});
+  LoadProgram(fabric, {1, 0}, {{cim::arch::OpCode::kAddScalar, 1.0}});
+  LoadProgram(fabric, {2, 0}, {{cim::arch::OpCode::kMulScalar, 10.0}});
+  (void)fabric.ConfigureStream(1, {{0, 0}, {1, 0}, {2, 0}});
+  double static_result = 0.0;
+  (void)fabric.SetStreamSink(1, [&](std::vector<double> payload,
+                                    cim::TimeNs) {
+    static_result = payload[0];
+  });
+  (void)fabric.InjectData(1, {3.0});
+  fabric.queue().Run();
+  std::printf("static dataflow:  3 -> x2 -> +1 -> x10 = %.0f\n",
+              static_result);
+
+  // ---- 2. dynamic dataflow ----------------------------------------------
+  LoadProgram(fabric, {0, 1}, {});  // classifier entry (identity)
+  LoadProgram(fabric, {3, 1}, {{cim::arch::OpCode::kMulScalar, 1.0}});
+  LoadProgram(fabric, {0, 3}, {{cim::arch::OpCode::kMulScalar, -1.0}});
+  (void)fabric.ConfigureDynamicStream(
+      2, {0, 1},
+      [](cim::noc::NodeId current, std::span<const double> payload)
+          -> std::optional<cim::noc::NodeId> {
+        if (current == cim::noc::NodeId{0, 1}) {
+          // Content-based routing: big values east, small values north.
+          return payload[0] >= 5.0 ? cim::noc::NodeId{3, 1}
+                                   : cim::noc::NodeId{0, 3};
+        }
+        return std::nullopt;
+      });
+  (void)fabric.SetStreamSink(2, [](std::vector<double> payload, cim::TimeNs) {
+    std::printf("dynamic dataflow: payload %.0f exited at the %s branch\n",
+                payload[0], payload[0] >= 0 ? "east (passthrough)"
+                                            : "north (negating)");
+  });
+  (void)fabric.InjectData(2, {9.0});
+  (void)fabric.InjectData(2, {2.0});
+  fabric.queue().Run();
+
+  // ---- 3. self-programmable dataflow ------------------------------------
+  // The tile at (2,2) starts as identity; a code packet re-programs it to
+  // a sigmoid and the same stream immediately computes differently.
+  LoadProgram(fabric, {2, 2}, {});
+  (void)fabric.ConfigureStream(3, {{2, 2}});
+  double last = 0.0;
+  (void)fabric.SetStreamSink(3, [&](std::vector<double> payload,
+                                    cim::TimeNs) { last = payload[0]; });
+  (void)fabric.InjectData(3, {0.0});
+  fabric.queue().Run();
+  std::printf("self-programming: before code packet f(0) = %.3f "
+              "(identity)\n",
+              last);
+  (void)fabric.SendProgram({0, 0}, {2, 2}, 0,
+                           {{cim::arch::OpCode::kSigmoid, 0.0}});
+  fabric.queue().Run();
+  (void)fabric.InjectData(3, {0.0});
+  fabric.queue().Run();
+  std::printf("self-programming: after  code packet f(0) = %.3f "
+              "(sigmoid)\n",
+              last);
+  std::printf("rejected code loads (bad auth tags): %llu\n",
+              static_cast<unsigned long long>(fabric.rejected_code_loads()));
+  return 0;
+}

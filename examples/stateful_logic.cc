@@ -1,0 +1,67 @@
+// §III.A demo: full arithmetic built from the two primitive families the
+// paper cites — Borghetti-style NOT/IMP (material implication) and
+// MAGIC-style NOR — plus Chen/Ambit-style bulk bitwise row operations.
+// Every gate is a conditional write on memristor state; the example prints
+// the cycle and energy cost per family for the same 16-bit additions.
+#include <cstdio>
+
+#include "logic/arith.h"
+#include "logic/stateful_logic.h"
+
+int main() {
+  cim::logic::LogicParams params;
+  params.register_count = 16;
+
+  cim::logic::ImplyEngine imply(params);
+  cim::logic::MagicNorEngine magic(params);
+
+  std::printf("16-bit in-memory additions (a + b), two primitive "
+              "families:\n\n");
+  std::printf("%-10s %-10s %-10s | %-22s %-22s\n", "a", "b", "a+b",
+              "IMPLY cycles/energy", "MAGIC-NOR cycles/energy");
+  const std::uint64_t pairs[][2] = {
+      {7, 9}, {1000, 24}, {0xFFFF, 1}, {0xAAAA, 0x5555}, {12345, 54321}};
+  for (const auto& pair : pairs) {
+    auto ri = cim::logic::ImplyRippleAdd(imply, pair[0], pair[1], 16);
+    auto rm = cim::logic::MagicRippleAdd(magic, pair[0], pair[1], 16);
+    if (!ri.ok() || !rm.ok()) return 1;
+    std::printf("%-10llu %-10llu %-10llu | %6llu cyc %9.1f pJ | %6llu cyc "
+                "%9.1f pJ\n",
+                static_cast<unsigned long long>(pair[0]),
+                static_cast<unsigned long long>(pair[1]),
+                static_cast<unsigned long long>(ri->sum),
+                static_cast<unsigned long long>(ri->cost.operations),
+                ri->cost.energy_pj,
+                static_cast<unsigned long long>(rm->cost.operations),
+                rm->cost.energy_pj);
+  }
+  std::printf("\nper full adder: IMPLY = 9 NAND x 3 cycles + 3 loads = 30; "
+              "MAGIC = 9 NOR x 2 cycles + 3 loads = 21\n\n");
+
+  // Bulk bitwise (Chen AND/OR/XOR macro; Ambit-style row parallelism):
+  // one cycle transforms a whole 256-bit row.
+  cim::logic::BulkBitwiseEngine::Params bulk_params;
+  bulk_params.rows = 8;
+  bulk_params.bits_per_row = 256;
+  auto bulk = cim::logic::BulkBitwiseEngine::Create(bulk_params);
+  if (!bulk.ok()) return 1;
+  std::vector<std::uint64_t> row_a(4, 0xF0F0F0F0F0F0F0F0ULL);
+  std::vector<std::uint64_t> row_b(4, 0x00FF00FF00FF00FFULL);
+  (void)bulk->WriteRow(0, row_a);
+  (void)bulk->WriteRow(1, row_b);
+  bulk->ResetCost();
+  (void)bulk->And(0, 1, 2);
+  (void)bulk->Or(0, 1, 3);
+  (void)bulk->Xor(0, 1, 4);
+  std::printf("bulk bitwise: AND+OR+XOR over 256-bit rows = %llu row "
+              "cycles, %.0f pJ (768 bit-ops, row-parallel)\n",
+              static_cast<unsigned long long>(bulk->cost().operations),
+              bulk->cost().energy_pj);
+  auto and_row = bulk->ReadRow(2);
+  if (and_row.ok()) {
+    std::printf("AND row word0 = 0x%016llx (expected 0x%016llx)\n",
+                static_cast<unsigned long long>((*and_row)[0]),
+                static_cast<unsigned long long>(row_a[0] & row_b[0]));
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// §IV.B end to end: NFV-style virtual CIM functions. Two tenants share one
+// fabric, each inside its own hardware partition with its own QoS class;
+// a service chain is granted explicitly; and when a tile dies, the
+// affected function migrates to a spare tile without the tenant noticing.
+#include <cstdio>
+
+#include "runtime/virtualization.h"
+
+int main() {
+  cim::arch::FabricParams params;
+  params.mesh.width = 4;
+  params.mesh.height = 4;
+  params.enforce_partitions = true;  // isolation on
+  auto fabric_or = cim::arch::Fabric::Create(params);
+  if (!fabric_or.ok()) return 1;
+  cim::arch::Fabric& fabric = **fabric_or;
+  cim::runtime::VirtualizationManager manager(&fabric);
+
+  // Tenant A: a "sensor scaler" (x2 then +1), realtime QoS.
+  cim::runtime::VirtualFunctionSpec scaler;
+  scaler.name = "tenantA/scaler";
+  scaler.qos = cim::noc::QosClass::kRealtime;
+  scaler.stages = {{{cim::arch::OpCode::kMulScalar, 2.0}},
+                   {{cim::arch::OpCode::kAddScalar, 1.0}}};
+  // Tenant B: a "squash" function (sigmoid), bulk QoS.
+  cim::runtime::VirtualFunctionSpec squash;
+  squash.name = "tenantB/squash";
+  squash.stages = {{{cim::arch::OpCode::kSigmoid, 0.0}}};
+
+  auto fn_a = manager.Instantiate(scaler);
+  auto fn_b = manager.Instantiate(squash);
+  if (!fn_a.ok() || !fn_b.ok()) return 1;
+  std::printf("instantiated '%s' (partition %u, %zu tiles) and '%s' "
+              "(partition %u, %zu tiles); %zu tiles free\n",
+              fn_a->name.c_str(), fn_a->partition, fn_a->tiles.size(),
+              fn_b->name.c_str(), fn_b->partition, fn_b->tiles.size(),
+              manager.free_tiles());
+
+  double out_a = 0.0, out_b = 0.0;
+  (void)manager.SetSink("tenantA/scaler",
+                        [&](std::vector<double> payload, cim::TimeNs) {
+                          out_a = payload[0];
+                        });
+  (void)manager.SetSink("tenantB/squash",
+                        [&](std::vector<double> payload, cim::TimeNs) {
+                          out_b = payload[0];
+                        });
+  (void)manager.Invoke("tenantA/scaler", {10.0});
+  (void)manager.Invoke("tenantB/squash", {0.0});
+  fabric.queue().Run();
+  std::printf("tenant A: f(10) = %.1f   tenant B: f(0) = %.3f   (isolated "
+              "partitions, independent QoS)\n",
+              out_a, out_b);
+
+  // Failover: kill one of tenant A's tiles mid-service.
+  const cim::noc::NodeId victim = fn_a->tiles[1];
+  (void)fabric.FailTile(victim);
+  auto migrated = manager.MigrateOff(victim);
+  std::printf("tile (%u,%u) failed -> migrated %d function stage(s) to a "
+              "spare tile\n",
+              victim.x, victim.y, migrated.ok() ? *migrated : -1);
+  (void)manager.Invoke("tenantA/scaler", {10.0});
+  fabric.queue().Run();
+  std::printf("tenant A after failover: f(10) = %.1f (same answer, new "
+              "silicon)\n",
+              out_a);
+
+  // Service chaining needs an explicit grant (fail-closed isolation).
+  (void)manager.GrantChain("tenantA/scaler", "tenantB/squash");
+  std::printf("chain tenantA -> tenantB granted explicitly; cross-partition "
+              "traffic without a grant is dropped by the partition "
+              "manager\n");
+  return 0;
+}

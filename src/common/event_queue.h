@@ -1,0 +1,86 @@
+// Discrete-event simulation core.
+//
+// The NoC, runtime and reliability layers are event-driven: components
+// schedule callbacks at future simulated times and the EventQueue executes
+// them in timestamp order. Ties are broken by insertion order so simulations
+// are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace cim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedule `fn` to run at absolute simulated time `when`. Events scheduled
+  // in the past run at the current time (never before it).
+  void ScheduleAt(TimeNs when, Callback fn) {
+    if (when < now_) when = now_;
+    heap_.push(Event{when, next_sequence_++, std::move(fn)});
+  }
+
+  void ScheduleAfter(TimeNs delay, Callback fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  [[nodiscard]] TimeNs now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  // Run a single event; returns false when the queue is empty.
+  bool Step() {
+    if (heap_.empty()) return false;
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+
+  // Run until the queue drains or `max_events` have run. Returns the number
+  // of events executed. max_events guards against livelock in tests.
+  std::uint64_t Run(std::uint64_t max_events = UINT64_MAX) {
+    std::uint64_t executed = 0;
+    while (executed < max_events && Step()) ++executed;
+    return executed;
+  }
+
+  // Run events with timestamps <= deadline; the clock lands exactly on the
+  // deadline afterwards (so idle periods advance time too).
+  std::uint64_t RunUntil(TimeNs deadline) {
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && heap_.top().when <= deadline) {
+      Step();
+      ++executed;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return executed;
+  }
+
+ private:
+  struct Event {
+    TimeNs when;
+    std::uint64_t sequence;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when.ns != b.when.ns) return a.when.ns > b.when.ns;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  TimeNs now_{0.0};
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace cim

@@ -1,0 +1,39 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace cim {
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kWarning};
+
+constexpr std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Logger::threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void Logger::set_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void Logger::Write(LogLevel level, std::string_view module,
+                   std::string_view message) {
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(LevelName(level).size()),
+               LevelName(level).data(), static_cast<int>(module.size()),
+               module.data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace cim

@@ -1,0 +1,45 @@
+// Minimal leveled logger. Output goes to stderr; benchmarks keep the level
+// at kWarning so tables stay clean, tests may raise it for debugging.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace cim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+class Logger {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+  static void Write(LogLevel level, std::string_view module,
+                    std::string_view message);
+};
+
+// Usage: LogMessage(LogLevel::kInfo, "noc") << "packet " << id << " dropped";
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view module)
+      : level_(level), module_(module) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() {
+    if (level_ >= Logger::threshold()) {
+      Logger::Write(level_, module_, stream_.str());
+    }
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (level_ >= Logger::threshold()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view module_;
+  std::ostringstream stream_;
+};
+
+}  // namespace cim

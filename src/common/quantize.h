@@ -1,0 +1,72 @@
+// Quantization helpers shared by the crossbar (weight → conductance levels)
+// and the DPE input path (activation → DAC codes).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace cim {
+
+// Uniform symmetric quantizer: maps value in [-range, range] onto integer
+// codes in [-(2^(bits-1)-1), 2^(bits-1)-1]. bits must be >= 2.
+struct SymmetricQuantizer {
+  int bits = 8;
+  double range = 1.0;
+
+  [[nodiscard]] std::int64_t max_code() const {
+    return (std::int64_t{1} << (bits - 1)) - 1;
+  }
+
+  [[nodiscard]] double step() const {
+    return range / static_cast<double>(max_code());
+  }
+
+  [[nodiscard]] std::int64_t Encode(double value) const {
+    const double clamped = std::clamp(value, -range, range);
+    const auto code = static_cast<std::int64_t>(std::llround(clamped / step()));
+    return std::clamp(code, -max_code(), max_code());
+  }
+
+  [[nodiscard]] double Decode(std::int64_t code) const {
+    return static_cast<double>(code) * step();
+  }
+
+  [[nodiscard]] double Roundtrip(double value) const {
+    return Decode(Encode(value));
+  }
+};
+
+// Unsigned quantizer over [0, range] with 2^bits levels; used for
+// conductances, which are physically non-negative.
+struct UnsignedQuantizer {
+  int bits = 4;
+  double range = 1.0;
+
+  [[nodiscard]] std::uint64_t levels() const {
+    return std::uint64_t{1} << bits;
+  }
+
+  [[nodiscard]] double step() const {
+    return range / static_cast<double>(levels() - 1);
+  }
+
+  [[nodiscard]] std::uint64_t Encode(double value) const {
+    const double clamped = std::clamp(value, 0.0, range);
+    return static_cast<std::uint64_t>(std::llround(clamped / step()));
+  }
+
+  [[nodiscard]] double Decode(std::uint64_t code) const {
+    return static_cast<double>(code) * step();
+  }
+};
+
+// Split a signed integer code into base-2^cell_bits digits, least
+// significant first — the bit-slicing used to spread one weight across
+// several crossbar cells (magnitude) plus a sign handled by differential
+// columns.
+inline int SlicesNeeded(int weight_bits, int cell_bits) {
+  return (weight_bits - 1 + cell_bits - 1) / cell_bits;  // magnitude bits only
+}
+
+}  // namespace cim

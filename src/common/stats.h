@@ -1,0 +1,139 @@
+// Streaming statistics used by the telemetry layers (NoC, runtime, DPE).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cim {
+
+// Welford online mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  void Reset() { *this = RunningStat(); }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const {
+    return count_ > 0 ? min_ : 0.0;
+  }
+  [[nodiscard]] double max() const {
+    return count_ > 0 ? max_ : 0.0;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets, plus
+// quantile estimation by linear interpolation within buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+
+  void Add(double x) {
+    ++total_;
+    stat_.Add(x);
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    if (x >= hi_) {
+      ++overflow_;
+      return;
+    }
+    const auto idx = static_cast<std::size_t>(
+        (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+    ++counts_[std::min(idx, counts_.size() - 1)];
+  }
+
+  // Quantile q in [0,1]; clamps to the histogram range when mass falls in
+  // the under/overflow buckets.
+  [[nodiscard]] double Quantile(double q) const {
+    if (total_ == 0) return 0.0;
+    const double target = q * static_cast<double>(total_);
+    double cumulative = static_cast<double>(underflow_);
+    if (cumulative >= target) return lo_;
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      const double next = cumulative + static_cast<double>(counts_[i]);
+      if (next >= target && counts_[i] > 0) {
+        const double frac =
+            (target - cumulative) / static_cast<double>(counts_[i]);
+        return lo_ + (static_cast<double>(i) + frac) * width;
+      }
+      cumulative = next;
+    }
+    return hi_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] const RunningStat& stat() const { return stat_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+  RunningStat stat_;
+};
+
+// Shared accounting record threaded through simulated operations: every
+// component adds the latency and energy it contributes. This is the single
+// currency in which CPUs, GPUs and CIM fabrics are compared.
+struct CostReport {
+  double latency_ns = 0.0;
+  double energy_pj = 0.0;
+  double bytes_moved = 0.0;  // data crossing a chip/package boundary
+  std::uint64_t operations = 0;
+
+  CostReport& operator+=(const CostReport& other) {
+    latency_ns += other.latency_ns;
+    energy_pj += other.energy_pj;
+    bytes_moved += other.bytes_moved;
+    operations += other.operations;
+    return *this;
+  }
+  friend CostReport operator+(CostReport a, const CostReport& b) {
+    a += b;
+    return a;
+  }
+
+  [[nodiscard]] double average_power_watts() const {
+    return latency_ns > 0.0 ? (energy_pj / latency_ns) * 1e-3 : 0.0;
+  }
+  // Effective bandwidth of data touched during the operation.
+  [[nodiscard]] double bandwidth_bytes_per_sec() const {
+    return latency_ns > 0.0 ? bytes_moved / (latency_ns * 1e-9) : 0.0;
+  }
+};
+
+}  // namespace cim

@@ -1,0 +1,142 @@
+// Lightweight status / expected types used across the CIM simulator.
+//
+// The simulator avoids exceptions on hot paths: fallible factories and
+// operations return Expected<T> or Status, in the spirit of the C++ Core
+// Guidelines' advice to make error paths explicit at module boundaries.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace cim {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kCapacityExceeded,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnavailable,       // component faulted / isolated
+  kPermissionDenied,  // capability check failed
+  kDataCorruption,    // detected (not silent) corruption
+  kUnimplemented,
+};
+
+[[nodiscard]] constexpr std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kCapacityExceeded: return "CAPACITY_EXCEEDED";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kDataCorruption: return "DATA_CORRUPTION";
+    case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+// Status: an error code plus a human-readable message. The OK status carries
+// no message and is cheap to copy.
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status Ok() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out(ErrorCodeName(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status OutOfRange(std::string msg) {
+  return {ErrorCode::kOutOfRange, std::move(msg)};
+}
+inline Status CapacityExceeded(std::string msg) {
+  return {ErrorCode::kCapacityExceeded, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status AlreadyExists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status Unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Status PermissionDenied(std::string msg) {
+  return {ErrorCode::kPermissionDenied, std::move(msg)};
+}
+inline Status DataCorruption(std::string msg) {
+  return {ErrorCode::kDataCorruption, std::move(msg)};
+}
+
+// Expected<T>: either a value or a Status explaining why there is none.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : payload_(std::move(value)) {}           // NOLINT
+  Expected(Status status) : payload_(std::move(status)) {}    // NOLINT
+
+  [[nodiscard]] bool ok() const {
+    return std::holds_alternative<T>(payload_);
+  }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() & { return std::get<T>(payload_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(payload_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  [[nodiscard]] const Status& status() const {
+    static const Status ok_status;
+    if (ok()) return ok_status;
+    return std::get<Status>(payload_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+  T* operator->() { return &std::get<T>(payload_); }
+  const T* operator->() const { return &std::get<T>(payload_); }
+  T& operator*() { return std::get<T>(payload_); }
+  const T& operator*() const { return std::get<T>(payload_); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace cim

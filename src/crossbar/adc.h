@@ -1,0 +1,62 @@
+// DAC / ADC circuit models for the analog crossbar periphery.
+//
+// The DPE (§VI, ISAAC lineage) feeds inputs through row DACs and senses
+// column currents through shared ADCs. The ADC dominates periphery energy
+// and scales roughly exponentially with resolution, which is why the
+// bit-sliced design keeps per-conversion resolution low — the ABL-ADC
+// ablation bench sweeps exactly this trade-off.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace cim::crossbar {
+
+struct AdcParams {
+  int bits = 8;
+  // SAR-class ADC at 1.28 GS/s (ISAAC's operating point): ~0.78 ns and
+  // ~12.5 pJ per conversion at 8 bits. Energy scales ~2^bits, latency is
+  // roughly linear in bits for a SAR.
+  TimeNs base_latency{0.78};
+  EnergyPj base_energy{12.5};
+  int reference_bits = 8;  // operating point the base numbers describe
+
+  [[nodiscard]] TimeNs conversion_latency() const {
+    return base_latency * (static_cast<double>(bits) /
+                           static_cast<double>(reference_bits));
+  }
+  [[nodiscard]] EnergyPj conversion_energy() const {
+    return base_energy *
+           std::pow(2.0, static_cast<double>(bits - reference_bits));
+  }
+
+  // Quantize a current in [0, full_scale] to a code, then back to amperes.
+  [[nodiscard]] std::uint64_t Encode(double current, double full_scale) const {
+    const std::uint64_t max_code = (std::uint64_t{1} << bits) - 1;
+    const double clamped = std::clamp(current, 0.0, full_scale);
+    return static_cast<std::uint64_t>(
+        std::llround(clamped / full_scale * static_cast<double>(max_code)));
+  }
+  [[nodiscard]] double Decode(std::uint64_t code, double full_scale) const {
+    const std::uint64_t max_code = (std::uint64_t{1} << bits) - 1;
+    return static_cast<double>(code) / static_cast<double>(max_code) *
+           full_scale;
+  }
+};
+
+struct DacParams {
+  int bits = 1;  // ISAAC streams inputs bit-serially through 1-bit DACs
+  TimeNs settle_latency{1.0};
+  EnergyPj drive_energy{0.2};  // per row per pulse
+  double v_read = 0.2;         // read voltage in volts
+
+  [[nodiscard]] double LevelVoltage(std::uint64_t code) const {
+    const std::uint64_t max_code = (std::uint64_t{1} << bits) - 1;
+    return v_read * static_cast<double>(code) / static_cast<double>(max_code);
+  }
+};
+
+}  // namespace cim::crossbar

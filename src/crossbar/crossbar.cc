@@ -1,0 +1,243 @@
+#include "crossbar/crossbar.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cim::crossbar {
+
+Status CrossbarParams::Validate() const {
+  if (rows == 0 || cols == 0) {
+    return InvalidArgument("crossbar dimensions must be non-zero");
+  }
+  if (rows > 4096 || cols > 4096) {
+    return InvalidArgument("crossbar dimensions above 4096 are not modelled");
+  }
+  if (columns_per_adc == 0) {
+    return InvalidArgument("columns_per_adc must be non-zero");
+  }
+  if (ir_drop_alpha < 0.0 || ir_drop_alpha >= 1.0) {
+    return InvalidArgument("ir_drop_alpha must be in [0, 1)");
+  }
+  return cell.Validate();
+}
+
+Expected<Crossbar> Crossbar::Create(const CrossbarParams& params, Rng rng) {
+  if (Status status = params.Validate(); !status.ok()) return status;
+  return Crossbar(params, rng);
+}
+
+Crossbar::Crossbar(const CrossbarParams& params, Rng rng)
+    : params_(params), rng_(rng) {
+  cells_.reserve(params_.rows * params_.cols);
+  for (std::size_t i = 0; i < params_.rows * params_.cols; ++i) {
+    cells_.emplace_back(params_.cell);
+  }
+}
+
+Expected<CostReport> Crossbar::ProgramLevels(
+    std::span<const std::uint64_t> levels) {
+  if (levels.size() != params_.rows * params_.cols) {
+    return InvalidArgument("level matrix size mismatch");
+  }
+  const std::uint64_t max_level = params_.cell.levels() - 1;
+  for (std::uint64_t level : levels) {
+    if (level > max_level) return OutOfRange("cell level exceeds cell_bits");
+  }
+
+  CostReport total;
+  for (std::size_t r = 0; r < params_.rows; ++r) {
+    double row_latency = 0.0;
+    for (std::size_t c = 0; c < params_.cols; ++c) {
+      const device::ProgramResult pr =
+          cells_[r * params_.cols + c].Program(params_.cell,
+                                               levels[r * params_.cols + c],
+                                               rng_);
+      total.energy_pj += pr.energy.pj;
+      if (params_.parallel_row_write) {
+        row_latency = std::max(row_latency, pr.latency.ns);
+      } else {
+        row_latency += pr.latency.ns;
+      }
+      ++total.operations;
+    }
+    total.latency_ns += row_latency;  // rows are written serially
+  }
+  // The level matrix itself had to reach the array from outside.
+  total.bytes_moved += static_cast<double>(levels.size()) *
+                       static_cast<double>(params_.cell.cell_bits) / 8.0;
+  return total;
+}
+
+Expected<CostReport> Crossbar::ProgramCell(std::size_t row, std::size_t col,
+                                           std::uint64_t level) {
+  if (row >= params_.rows || col >= params_.cols) {
+    return OutOfRange("cell coordinate");
+  }
+  if (level > params_.cell.levels() - 1) {
+    return OutOfRange("cell level exceeds cell_bits");
+  }
+  const device::ProgramResult pr =
+      cells_[row * params_.cols + col].Program(params_.cell, level, rng_);
+  CostReport cost;
+  cost.latency_ns = pr.latency.ns;
+  cost.energy_pj = pr.energy.pj;
+  cost.operations = 1;
+  cost.bytes_moved = params_.cell.cell_bits / 8.0;
+  return cost;
+}
+
+double Crossbar::FullScaleCurrent() const {
+  return static_cast<double>(params_.rows) * params_.dac.v_read *
+         params_.cell.g_on_siemens;
+}
+
+std::vector<double> Crossbar::IdealColumnCurrents(
+    std::span<const std::uint64_t> row_codes) const {
+  std::vector<double> currents(params_.cols, 0.0);
+  for (std::size_t r = 0; r < params_.rows; ++r) {
+    const double v = params_.dac.LevelVoltage(row_codes[r]);
+    if (v == 0.0) continue;
+    for (std::size_t c = 0; c < params_.cols; ++c) {
+      currents[c] += v * cells_[r * params_.cols + c].true_conductance();
+    }
+  }
+  return currents;
+}
+
+Expected<AnalogCycleResult> Crossbar::Cycle(
+    std::span<const std::uint64_t> row_codes, std::size_t active_cols) {
+  if (row_codes.size() != params_.rows) {
+    return InvalidArgument("row drive vector size mismatch");
+  }
+  if (active_cols == 0 || active_cols > params_.cols) {
+    active_cols = params_.cols;
+  }
+  const std::uint64_t max_code =
+      (std::uint64_t{1} << params_.dac.bits) - 1;
+  for (std::uint64_t code : row_codes) {
+    if (code > max_code) return OutOfRange("DAC code exceeds dac.bits");
+  }
+
+  AnalogCycleResult result;
+  result.column_codes.assign(params_.cols, 0);
+
+  // Accumulate noisy column currents. Every cell on an active row draws
+  // (conductance-proportional) read energy; only gated columns get sensed.
+  std::vector<double> currents(params_.cols, 0.0);
+  std::size_t active_rows = 0;
+  for (std::size_t r = 0; r < params_.rows; ++r) {
+    const double v = params_.dac.LevelVoltage(row_codes[r]);
+    if (v == 0.0) continue;
+    ++active_rows;
+    for (std::size_t c = 0; c < params_.cols; ++c) {
+      const device::ReadResult rr =
+          cells_[r * params_.cols + c].Read(params_.cell, rng_);
+      currents[c] += v * rr.conductance_siemens;
+      result.cost.energy_pj += rr.energy.pj;
+    }
+    result.cost.energy_pj += params_.dac.drive_energy.pj;
+  }
+
+  // First-order IR drop: attenuate with the fraction of simultaneously
+  // active rows.
+  const double attenuation =
+      1.0 - params_.ir_drop_alpha * static_cast<double>(active_rows) /
+                static_cast<double>(params_.rows);
+  const double full_scale = FullScaleCurrent();
+  for (std::size_t c = 0; c < active_cols; ++c) {
+    result.column_codes[c] =
+        params_.adc.Encode(currents[c] * attenuation, full_scale);
+    result.cost.energy_pj += params_.adc.conversion_energy().pj;
+  }
+
+  // Latency: one DAC settle + cell read pulse happens for all rows in
+  // parallel; ADC conversions serialize within each ADC group.
+  // Number of ADCs = ceil(cols / columns_per_adc); each converts its share
+  // serially while all ADCs run in parallel, so the critical path is the
+  // share of one ADC.
+  const double serial_conversions =
+      std::min(static_cast<double>(params_.columns_per_adc),
+               static_cast<double>(active_cols));
+  result.cost.latency_ns = params_.dac.settle_latency.ns +
+                           params_.cell.read_latency.ns +
+                           serial_conversions *
+                               params_.adc.conversion_latency().ns;
+  result.cost.bytes_moved = 0.0;  // nothing crossed a package boundary
+  result.cost.operations =
+      static_cast<std::uint64_t>(active_rows) * active_cols * 2;  // MAC=2ops
+  return result;
+}
+
+Expected<AnalogCycleResult> Crossbar::CycleTranspose(
+    std::span<const std::uint64_t> col_codes, std::size_t active_rows) {
+  if (col_codes.size() != params_.cols) {
+    return InvalidArgument("column drive vector size mismatch");
+  }
+  if (active_rows == 0 || active_rows > params_.rows) {
+    active_rows = params_.rows;
+  }
+  const std::uint64_t max_code =
+      (std::uint64_t{1} << params_.dac.bits) - 1;
+  for (std::uint64_t code : col_codes) {
+    if (code > max_code) return OutOfRange("DAC code exceeds dac.bits");
+  }
+
+  AnalogCycleResult result;
+  result.column_codes.assign(params_.rows, 0);  // row codes here
+
+  std::vector<double> currents(params_.rows, 0.0);
+  std::size_t active_cols = 0;
+  for (std::size_t c = 0; c < params_.cols; ++c) {
+    const double v = params_.dac.LevelVoltage(col_codes[c]);
+    if (v == 0.0) continue;
+    ++active_cols;
+    for (std::size_t r = 0; r < params_.rows; ++r) {
+      const device::ReadResult rr =
+          cells_[r * params_.cols + c].Read(params_.cell, rng_);
+      currents[r] += v * rr.conductance_siemens;
+      result.cost.energy_pj += rr.energy.pj;
+    }
+    result.cost.energy_pj += params_.dac.drive_energy.pj;
+  }
+
+  const double attenuation =
+      1.0 - params_.ir_drop_alpha * static_cast<double>(active_cols) /
+                static_cast<double>(params_.cols);
+  // Full scale along the transpose direction is set by the column count.
+  const double full_scale = static_cast<double>(params_.cols) *
+                            params_.dac.v_read * params_.cell.g_on_siemens;
+  for (std::size_t r = 0; r < active_rows; ++r) {
+    result.column_codes[r] =
+        params_.adc.Encode(currents[r] * attenuation, full_scale);
+    result.cost.energy_pj += params_.adc.conversion_energy().pj;
+  }
+  const double serial_conversions =
+      std::min(static_cast<double>(params_.columns_per_adc),
+               static_cast<double>(active_rows));
+  result.cost.latency_ns = params_.dac.settle_latency.ns +
+                           params_.cell.read_latency.ns +
+                           serial_conversions *
+                               params_.adc.conversion_latency().ns;
+  result.cost.operations =
+      static_cast<std::uint64_t>(active_cols) * active_rows * 2;
+  return result;
+}
+
+void Crossbar::Age(TimeNs elapsed) {
+  for (auto& cell : cells_) cell.Age(params_.cell, elapsed);
+}
+
+void Crossbar::InjectCellFault(std::size_t row, std::size_t col,
+                               device::CellFault fault) {
+  cells_.at(row * params_.cols + col).InjectFault(fault);
+}
+
+std::size_t Crossbar::CountFaultedCells() const {
+  std::size_t n = 0;
+  for (const auto& cell : cells_) {
+    if (cell.fault() != device::CellFault::kNone) ++n;
+  }
+  return n;
+}
+
+}  // namespace cim::crossbar

@@ -1,0 +1,114 @@
+// Analog memristor crossbar array.
+//
+// A rows x cols grid of MemristorCell with row DACs and column-shared ADCs.
+// One analog cycle applies voltages on all rows simultaneously and senses
+// every column current — a full matrix-vector multiply in O(1) array time,
+// which is the physical basis of the paper's CIM performance claims: the
+// weights never move, so the "memory bandwidth" of the operation is the
+// whole array refreshed every cycle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "crossbar/adc.h"
+#include "device/memristor.h"
+
+namespace cim::crossbar {
+
+struct CrossbarParams {
+  std::size_t rows = 128;
+  std::size_t cols = 128;
+  device::MemristorParams cell;
+  AdcParams adc;
+  DacParams dac;
+  // How many columns share one ADC; conversions for those columns are
+  // serialized within the cycle. ISAAC shares one ADC across a full array.
+  std::size_t columns_per_adc = 128;
+  // First-order IR-drop model: sensed current is attenuated by
+  // (1 - alpha * active_row_fraction), capturing wire resistance loss that
+  // grows with simultaneously driven rows.
+  double ir_drop_alpha = 0.02;
+  // Rows programmed in parallel during a weight write (write verify is
+  // per-row in this model).
+  bool parallel_row_write = true;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+// Result of one analog MVM cycle: raw ADC codes per column and the cost.
+struct AnalogCycleResult {
+  std::vector<std::uint64_t> column_codes;
+  CostReport cost;
+};
+
+class Crossbar {
+ public:
+  // Factory validates parameters; the constructor itself cannot fail.
+  [[nodiscard]] static Expected<Crossbar> Create(const CrossbarParams& params,
+                                                 Rng rng);
+
+  [[nodiscard]] std::size_t rows() const { return params_.rows; }
+  [[nodiscard]] std::size_t cols() const { return params_.cols; }
+  [[nodiscard]] const CrossbarParams& params() const { return params_; }
+
+  // Program the whole array to the given level matrix (row-major,
+  // rows*cols entries, each < 2^cell_bits). Returns aggregate write cost.
+  // Programming is the slow path (asymmetric write latency, §VI).
+  [[nodiscard]] Expected<CostReport> ProgramLevels(
+      std::span<const std::uint64_t> levels);
+
+  // Program a single cell (incremental weight update path): far cheaper
+  // than a full reprogram when training touches few cells.
+  [[nodiscard]] Expected<CostReport> ProgramCell(std::size_t row,
+                                                 std::size_t col,
+                                                 std::uint64_t level);
+
+  // One analog cycle: drive every row with a DAC code (row_codes.size() ==
+  // rows, each < 2^dac_bits), sense and digitize the first `active_cols`
+  // columns (0 = all). Column gating lets narrow logical matrices skip ADC
+  // conversions for unused columns.
+  [[nodiscard]] Expected<AnalogCycleResult> Cycle(
+      std::span<const std::uint64_t> row_codes, std::size_t active_cols = 0);
+
+  // Transpose cycle: drive the columns, sense the rows (y -> W y). The
+  // crossbar is bidirectional — the property the DPE lineage exploits for
+  // in-situ backpropagation. Returns `active_rows` row codes.
+  [[nodiscard]] Expected<AnalogCycleResult> CycleTranspose(
+      std::span<const std::uint64_t> col_codes, std::size_t active_rows = 0);
+
+  // Full-scale column current the ADC range is calibrated to.
+  [[nodiscard]] double FullScaleCurrent() const;
+
+  // Noise-free expected column currents for a drive vector — used by tests
+  // and golden models to bound quantization error.
+  [[nodiscard]] std::vector<double> IdealColumnCurrents(
+      std::span<const std::uint64_t> row_codes) const;
+
+  // Age every cell by `elapsed` (conductance drift).
+  void Age(TimeNs elapsed);
+
+  // Fault-injection hooks (reliability experiments).
+  void InjectCellFault(std::size_t row, std::size_t col,
+                       device::CellFault fault);
+  [[nodiscard]] std::size_t CountFaultedCells() const;
+
+  // Direct cell access for white-box tests.
+  [[nodiscard]] const device::MemristorCell& cell(std::size_t row,
+                                                  std::size_t col) const {
+    return cells_[row * params_.cols + col];
+  }
+
+ private:
+  Crossbar(const CrossbarParams& params, Rng rng);
+
+  CrossbarParams params_;
+  std::vector<device::MemristorCell> cells_;
+  Rng rng_;
+};
+
+}  // namespace cim::crossbar

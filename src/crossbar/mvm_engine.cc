@@ -1,0 +1,447 @@
+#include "crossbar/mvm_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cim::crossbar {
+namespace {
+
+// Attenuation the analog array applies (mirrors Crossbar::Cycle); the
+// digital periphery calibrates it out because it depends only on the known
+// number of active rows.
+double IrAttenuation(const CrossbarParams& p, std::size_t active_rows) {
+  return 1.0 - p.ir_drop_alpha * static_cast<double>(active_rows) /
+                   static_cast<double>(p.rows);
+}
+
+}  // namespace
+
+Status MvmEngineParams::Validate() const {
+  if (weight_bits < 2 || weight_bits > 16) {
+    return InvalidArgument("weight_bits must be in [2, 16]");
+  }
+  if (input_bits < 1 || input_bits > 16) {
+    return InvalidArgument("input_bits must be in [1, 16]");
+  }
+  if (weight_range <= 0.0 || input_range <= 0.0) {
+    return InvalidArgument("ranges must be positive");
+  }
+  if (array.dac.bits != 1) {
+    return InvalidArgument("the MVM engine drives inputs bit-serially and "
+                           "requires 1-bit DACs");
+  }
+  return array.Validate();
+}
+
+Expected<MvmEngine> MvmEngine::Create(const MvmEngineParams& params,
+                                      std::size_t in_dim, std::size_t out_dim,
+                                      Rng rng) {
+  if (Status status = params.Validate(); !status.ok()) return status;
+  if (in_dim == 0 || in_dim > params.array.rows) {
+    return InvalidArgument("in_dim must be in [1, array.rows]");
+  }
+  if (out_dim == 0 || out_dim > params.array.cols) {
+    return InvalidArgument("out_dim must be in [1, array.cols]");
+  }
+  MvmEngine engine(params, in_dim, out_dim);
+  for (int s = 0; s < params.slices(); ++s) {
+    auto pos = Crossbar::Create(params.array, rng.Fork());
+    auto neg = Crossbar::Create(params.array, rng.Fork());
+    if (!pos.ok()) return pos.status();
+    if (!neg.ok()) return neg.status();
+    engine.positive_planes_.push_back(std::move(pos.value()));
+    engine.negative_planes_.push_back(std::move(neg.value()));
+  }
+  return engine;
+}
+
+MvmEngine::MvmEngine(const MvmEngineParams& params, std::size_t in_dim,
+                     std::size_t out_dim)
+    : params_(params), in_dim_(in_dim), out_dim_(out_dim) {}
+
+std::int64_t MvmEngine::QuantizeWeight(double w) const {
+  const auto max_code =
+      static_cast<std::int64_t>((1LL << (params_.weight_bits - 1)) - 1);
+  const double step =
+      params_.weight_range / static_cast<double>(max_code);
+  const double clamped =
+      std::clamp(w, -params_.weight_range, params_.weight_range);
+  return std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::llround(clamped / step)), -max_code,
+      max_code);
+}
+
+std::uint64_t MvmEngine::QuantizeInput(double x) const {
+  const auto max_code =
+      static_cast<std::uint64_t>((1ULL << params_.input_bits) - 1);
+  const double step = params_.input_range / static_cast<double>(max_code);
+  const double clamped = std::clamp(x, 0.0, params_.input_range);
+  return std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(std::llround(clamped / step)), max_code);
+}
+
+Expected<CostReport> MvmEngine::ProgramWeights(
+    std::span<const double> weights) {
+  if (weights.size() != in_dim_ * out_dim_) {
+    return InvalidArgument("weight matrix size mismatch");
+  }
+  weight_codes_.resize(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weight_codes_[i] = QuantizeWeight(weights[i]);
+  }
+
+  const int cell_bits = params_.array.cell.cell_bits;
+  const std::uint64_t digit_mask = (1ULL << cell_bits) - 1;
+  const std::size_t rows = params_.array.rows;
+  const std::size_t cols = params_.array.cols;
+
+  CostReport total;
+  for (int s = 0; s < params_.slices(); ++s) {
+    std::vector<std::uint64_t> pos_levels(rows * cols, 0);
+    std::vector<std::uint64_t> neg_levels(rows * cols, 0);
+    for (std::size_t r = 0; r < in_dim_; ++r) {
+      for (std::size_t c = 0; c < out_dim_; ++c) {
+        const std::int64_t code = weight_codes_[r * out_dim_ + c];
+        const auto magnitude =
+            static_cast<std::uint64_t>(code >= 0 ? code : -code);
+        const std::uint64_t digit = (magnitude >> (s * cell_bits)) & digit_mask;
+        if (code >= 0) {
+          pos_levels[r * cols + c] = digit;
+        } else {
+          neg_levels[r * cols + c] = digit;
+        }
+      }
+    }
+    auto pos_cost = positive_planes_[s].ProgramLevels(pos_levels);
+    if (!pos_cost.ok()) return pos_cost.status();
+    auto neg_cost = negative_planes_[s].ProgramLevels(neg_levels);
+    if (!neg_cost.ok()) return neg_cost.status();
+    // The two planes of a slice program in parallel in hardware; slices
+    // share the write drivers and go one after another.
+    total.energy_pj += pos_cost->energy_pj + neg_cost->energy_pj;
+    total.latency_ns += std::max(pos_cost->latency_ns, neg_cost->latency_ns);
+    total.bytes_moved += pos_cost->bytes_moved + neg_cost->bytes_moved;
+    total.operations += pos_cost->operations + neg_cost->operations;
+  }
+  programmed_ = true;
+  return total;
+}
+
+Expected<CostReport> MvmEngine::UpdateWeights(
+    std::span<const double> weights) {
+  if (!programmed_) {
+    return FailedPrecondition("ProgramWeights must run before UpdateWeights");
+  }
+  if (weights.size() != in_dim_ * out_dim_) {
+    return InvalidArgument("weight matrix size mismatch");
+  }
+  const int cell_bits = params_.array.cell.cell_bits;
+  const std::uint64_t digit_mask = (1ULL << cell_bits) - 1;
+
+  CostReport total;
+  // Per array: serialized cell rewrites; arrays update in parallel, so the
+  // update latency is the worst array's sum.
+  std::vector<double> per_array_latency(
+      static_cast<std::size_t>(params_.slices()) * 2, 0.0);
+
+  for (std::size_t r = 0; r < in_dim_; ++r) {
+    for (std::size_t c = 0; c < out_dim_; ++c) {
+      const std::int64_t new_code = QuantizeWeight(weights[r * out_dim_ + c]);
+      const std::int64_t old_code = weight_codes_[r * out_dim_ + c];
+      if (new_code == old_code) continue;
+      weight_codes_[r * out_dim_ + c] = new_code;
+      const auto new_mag =
+          static_cast<std::uint64_t>(new_code >= 0 ? new_code : -new_code);
+      const auto old_mag =
+          static_cast<std::uint64_t>(old_code >= 0 ? old_code : -old_code);
+      for (int s = 0; s < params_.slices(); ++s) {
+        const std::uint64_t new_pos_digit =
+            new_code >= 0 ? (new_mag >> (s * cell_bits)) & digit_mask : 0;
+        const std::uint64_t new_neg_digit =
+            new_code < 0 ? (new_mag >> (s * cell_bits)) & digit_mask : 0;
+        const std::uint64_t old_pos_digit =
+            old_code >= 0 ? (old_mag >> (s * cell_bits)) & digit_mask : 0;
+        const std::uint64_t old_neg_digit =
+            old_code < 0 ? (old_mag >> (s * cell_bits)) & digit_mask : 0;
+        if (new_pos_digit != old_pos_digit) {
+          auto cost = positive_planes_[s].ProgramCell(r, c, new_pos_digit);
+          if (!cost.ok()) return cost.status();
+          total.energy_pj += cost->energy_pj;
+          total.operations += 1;
+          per_array_latency[static_cast<std::size_t>(s) * 2] +=
+              cost->latency_ns;
+        }
+        if (new_neg_digit != old_neg_digit) {
+          auto cost = negative_planes_[s].ProgramCell(r, c, new_neg_digit);
+          if (!cost.ok()) return cost.status();
+          total.energy_pj += cost->energy_pj;
+          total.operations += 1;
+          per_array_latency[static_cast<std::size_t>(s) * 2 + 1] +=
+              cost->latency_ns;
+        }
+      }
+    }
+  }
+  for (double latency : per_array_latency) {
+    total.latency_ns = std::max(total.latency_ns, latency);
+  }
+  return total;
+}
+
+Expected<MvmResult> MvmEngine::Compute(std::span<const double> x) {
+  if (!programmed_) {
+    return FailedPrecondition("ProgramWeights must run before Compute");
+  }
+  if (x.size() != in_dim_) return InvalidArgument("input size mismatch");
+
+  std::vector<std::uint64_t> codes(in_dim_);
+  for (std::size_t i = 0; i < in_dim_; ++i) codes[i] = QuantizeInput(x[i]);
+
+  const CrossbarParams& array = params_.array;
+  const int cell_bits = array.cell.cell_bits;
+  const double v_read = array.dac.v_read;
+  const double g_step = (array.cell.g_on_siemens - array.cell.g_off_siemens) /
+                        static_cast<double>(array.cell.levels() - 1);
+  const double full_scale = static_cast<double>(array.rows) * v_read *
+                            array.cell.g_on_siemens;
+
+  MvmResult result;
+  result.y.assign(out_dim_, 0.0);
+  std::vector<double> accum(out_dim_, 0.0);
+  std::vector<std::uint64_t> row_codes(array.rows, 0);
+
+  for (int b = 0; b < params_.input_bits; ++b) {
+    std::size_t active = 0;
+    for (std::size_t r = 0; r < array.rows; ++r) {
+      const std::uint64_t bit =
+          r < in_dim_ ? ((codes[r] >> b) & 1ULL) : 0ULL;
+      row_codes[r] = bit;
+      active += bit;
+    }
+    const double attenuation = IrAttenuation(array, active);
+    const double bit_weight = std::pow(2.0, b);
+
+    double cycle_latency = 0.0;
+    for (int s = 0; s < params_.slices(); ++s) {
+      const double slice_weight =
+          bit_weight * std::pow(2.0, s * cell_bits);
+      for (int plane = 0; plane < 2; ++plane) {
+        Crossbar& xbar =
+            plane == 0 ? positive_planes_[s] : negative_planes_[s];
+        auto cycle = xbar.Cycle(row_codes, out_dim_);
+        if (!cycle.ok()) return cycle.status();
+        // All (slice, plane) arrays fire in parallel within the bit cycle.
+        cycle_latency = std::max(cycle_latency, cycle->cost.latency_ns);
+        result.cost.energy_pj += cycle->cost.energy_pj;
+        result.cost.operations += cycle->cost.operations;
+        const double sign = plane == 0 ? 1.0 : -1.0;
+        for (std::size_t c = 0; c < out_dim_; ++c) {
+          const double sensed =
+              array.adc.Decode(cycle->column_codes[c], full_scale);
+          const double corrected = sensed / attenuation -
+                                   static_cast<double>(active) * v_read *
+                                       array.cell.g_off_siemens;
+          const double digit_sum =
+              std::max(0.0, std::round(corrected / (v_read * g_step)));
+          accum[c] += sign * slice_weight * digit_sum;
+          result.cost.energy_pj += params_.shift_add_energy.pj;
+        }
+      }
+    }
+    result.cost.latency_ns += cycle_latency + params_.shift_add_latency.ns;
+  }
+
+  const auto max_w_code =
+      static_cast<double>((1LL << (params_.weight_bits - 1)) - 1);
+  const auto max_x_code =
+      static_cast<double>((1ULL << params_.input_bits) - 1);
+  const double scale = (params_.weight_range / max_w_code) *
+                       (params_.input_range / max_x_code);
+  for (std::size_t c = 0; c < out_dim_; ++c) result.y[c] = accum[c] * scale;
+  return result;
+}
+
+Expected<MvmResult> MvmEngine::ComputeTranspose(std::span<const double> e) {
+  if (!programmed_) {
+    return FailedPrecondition("ProgramWeights must run before "
+                              "ComputeTranspose");
+  }
+  if (e.size() != out_dim_) return InvalidArgument("error size mismatch");
+
+  // Split the signed error into non-negative halves; each half runs a full
+  // bit-serial transpose pass.
+  std::vector<std::uint64_t> pos_codes(out_dim_), neg_codes(out_dim_);
+  for (std::size_t i = 0; i < out_dim_; ++i) {
+    pos_codes[i] = QuantizeInput(std::max(e[i], 0.0));
+    neg_codes[i] = QuantizeInput(std::max(-e[i], 0.0));
+  }
+
+  const CrossbarParams& array = params_.array;
+  const int cell_bits = array.cell.cell_bits;
+  const double v_read = array.dac.v_read;
+  const double g_step = (array.cell.g_on_siemens - array.cell.g_off_siemens) /
+                        static_cast<double>(array.cell.levels() - 1);
+  const double full_scale = static_cast<double>(array.cols) * v_read *
+                            array.cell.g_on_siemens;
+
+  MvmResult result;
+  result.y.assign(in_dim_, 0.0);
+  std::vector<double> accum(in_dim_, 0.0);
+  std::vector<std::uint64_t> col_codes(array.cols, 0);
+
+  for (int half = 0; half < 2; ++half) {
+    const std::vector<std::uint64_t>& codes =
+        half == 0 ? pos_codes : neg_codes;
+    const double half_sign = half == 0 ? 1.0 : -1.0;
+    for (int b = 0; b < params_.input_bits; ++b) {
+      std::size_t active = 0;
+      for (std::size_t c = 0; c < array.cols; ++c) {
+        const std::uint64_t bit =
+            c < out_dim_ ? ((codes[c] >> b) & 1ULL) : 0ULL;
+        col_codes[c] = bit;
+        active += bit;
+      }
+      const double attenuation =
+          1.0 - array.ir_drop_alpha * static_cast<double>(active) /
+                    static_cast<double>(array.cols);
+      const double bit_weight = std::pow(2.0, b);
+
+      double cycle_latency = 0.0;
+      for (int s = 0; s < params_.slices(); ++s) {
+        const double slice_weight = bit_weight * std::pow(2.0, s * cell_bits);
+        for (int plane = 0; plane < 2; ++plane) {
+          Crossbar& xbar =
+              plane == 0 ? positive_planes_[s] : negative_planes_[s];
+          auto cycle = xbar.CycleTranspose(col_codes, in_dim_);
+          if (!cycle.ok()) return cycle.status();
+          cycle_latency = std::max(cycle_latency, cycle->cost.latency_ns);
+          result.cost.energy_pj += cycle->cost.energy_pj;
+          result.cost.operations += cycle->cost.operations;
+          const double sign = (plane == 0 ? 1.0 : -1.0) * half_sign;
+          for (std::size_t r = 0; r < in_dim_; ++r) {
+            const double sensed =
+                array.adc.Decode(cycle->column_codes[r], full_scale);
+            const double corrected = sensed / attenuation -
+                                     static_cast<double>(active) * v_read *
+                                         array.cell.g_off_siemens;
+            const double digit_sum =
+                std::max(0.0, std::round(corrected / (v_read * g_step)));
+            accum[r] += sign * slice_weight * digit_sum;
+            result.cost.energy_pj += params_.shift_add_energy.pj;
+          }
+        }
+      }
+      result.cost.latency_ns += cycle_latency + params_.shift_add_latency.ns;
+    }
+  }
+
+  const auto max_w_code =
+      static_cast<double>((1LL << (params_.weight_bits - 1)) - 1);
+  const auto max_x_code =
+      static_cast<double>((1ULL << params_.input_bits) - 1);
+  const double scale = (params_.weight_range / max_w_code) *
+                       (params_.input_range / max_x_code);
+  for (std::size_t r = 0; r < in_dim_; ++r) result.y[r] = accum[r] * scale;
+  return result;
+}
+
+Expected<std::vector<double>> MvmEngine::GoldenComputeTranspose(
+    std::span<const double> e) const {
+  if (!programmed_) {
+    return FailedPrecondition("ProgramWeights must run before "
+                              "GoldenComputeTranspose");
+  }
+  if (e.size() != out_dim_) return InvalidArgument("error size mismatch");
+  const auto max_w_code =
+      static_cast<double>((1LL << (params_.weight_bits - 1)) - 1);
+  const auto max_x_code =
+      static_cast<double>((1ULL << params_.input_bits) - 1);
+  const double scale = (params_.weight_range / max_w_code) *
+                       (params_.input_range / max_x_code);
+  std::vector<double> g(in_dim_, 0.0);
+  for (std::size_t c = 0; c < out_dim_; ++c) {
+    const double pos = static_cast<double>(
+        QuantizeInput(std::max(e[c], 0.0)));
+    const double neg = static_cast<double>(
+        QuantizeInput(std::max(-e[c], 0.0)));
+    const double code = pos - neg;
+    if (code == 0.0) continue;
+    for (std::size_t r = 0; r < in_dim_; ++r) {
+      g[r] += static_cast<double>(weight_codes_[r * out_dim_ + c]) * code;
+    }
+  }
+  for (double& v : g) v *= scale;
+  return g;
+}
+
+Expected<std::vector<double>> MvmEngine::GoldenCompute(
+    std::span<const double> x) const {
+  if (!programmed_) {
+    return FailedPrecondition("ProgramWeights must run before GoldenCompute");
+  }
+  if (x.size() != in_dim_) return InvalidArgument("input size mismatch");
+  const auto max_w_code =
+      static_cast<double>((1LL << (params_.weight_bits - 1)) - 1);
+  const auto max_x_code =
+      static_cast<double>((1ULL << params_.input_bits) - 1);
+  const double scale = (params_.weight_range / max_w_code) *
+                       (params_.input_range / max_x_code);
+  std::vector<double> y(out_dim_, 0.0);
+  for (std::size_t r = 0; r < in_dim_; ++r) {
+    const auto xcode = static_cast<double>(QuantizeInput(x[r]));
+    if (xcode == 0.0) continue;
+    for (std::size_t c = 0; c < out_dim_; ++c) {
+      y[c] += static_cast<double>(weight_codes_[r * out_dim_ + c]) * xcode;
+    }
+  }
+  for (double& v : y) v *= scale;
+  return y;
+}
+
+double MvmEngine::AdcErrorBound() const {
+  // Per (bit, slice, plane) cycle the ADC introduces at most half an LSB of
+  // current error; digit rounding adds at most half a digit. Both convert
+  // into digit-sum error, get scaled by 2^(slice*cell_bits + bit) and summed
+  // over planes. Assumes read noise and faults are disabled.
+  const CrossbarParams& array = params_.array;
+  const double v_read = array.dac.v_read;
+  const double g_step = (array.cell.g_on_siemens - array.cell.g_off_siemens) /
+                        static_cast<double>(array.cell.levels() - 1);
+  const double full_scale = static_cast<double>(array.rows) * v_read *
+                            array.cell.g_on_siemens;
+  const double adc_lsb_current =
+      full_scale / static_cast<double>((1ULL << array.adc.bits) - 1);
+  // Worst-case attenuation correction amplifies the ADC error by at most
+  // 1/(1-alpha).
+  const double amplification = 1.0 / (1.0 - array.ir_drop_alpha);
+  const double digit_error_per_cycle =
+      0.5 * adc_lsb_current * amplification / (v_read * g_step) + 0.5;
+
+  double weight_sum = 0.0;
+  const int cell_bits = array.cell.cell_bits;
+  for (int b = 0; b < params_.input_bits; ++b) {
+    for (int s = 0; s < params_.slices(); ++s) {
+      weight_sum += 2.0 * std::pow(2.0, b + s * cell_bits);  // two planes
+    }
+  }
+  const auto max_w_code =
+      static_cast<double>((1LL << (params_.weight_bits - 1)) - 1);
+  const auto max_x_code =
+      static_cast<double>((1ULL << params_.input_bits) - 1);
+  const double scale = (params_.weight_range / max_w_code) *
+                       (params_.input_range / max_x_code);
+  return weight_sum * digit_error_per_cycle * scale;
+}
+
+void MvmEngine::InjectCellFault(int plane, int slice, std::size_t row,
+                                std::size_t col, device::CellFault fault) {
+  auto& planes = plane == 0 ? positive_planes_ : negative_planes_;
+  planes.at(static_cast<std::size_t>(slice)).InjectCellFault(row, col, fault);
+}
+
+void MvmEngine::Age(TimeNs elapsed) {
+  for (auto& xbar : positive_planes_) xbar.Age(elapsed);
+  for (auto& xbar : negative_planes_) xbar.Age(elapsed);
+}
+
+}  // namespace cim::crossbar

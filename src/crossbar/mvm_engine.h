@@ -1,0 +1,121 @@
+// Signed fixed-point matrix-vector multiplication on analog crossbars.
+//
+// One engine implements the ISAAC/DPE scheme the paper's §VI builds on:
+//   * weights are quantized to `weight_bits` signed fixed point and split
+//     into a differential pair (positive / negative magnitude planes),
+//   * each plane is bit-sliced into ceil((weight_bits-1)/cell_bits) crossbar
+//     arrays holding one base-2^cell_bits digit each,
+//   * inputs are quantized to `input_bits` and streamed bit-serially through
+//     1-bit DACs, one analog cycle per input bit,
+//   * digital shift-and-add merges (slice, bit) partial sums into the final
+//     signed output.
+// The engine also keeps the quantized weight codes so tests can compare the
+// analog result against the exact quantized product (the only differences
+// left are ADC quantization, read noise, IR drop and faults).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "crossbar/crossbar.h"
+
+namespace cim::crossbar {
+
+struct MvmEngineParams {
+  CrossbarParams array;
+  int weight_bits = 8;       // signed
+  int input_bits = 8;        // unsigned (post-activation values)
+  double weight_range = 1.0; // weights clipped to [-weight_range, +range]
+  double input_range = 1.0;  // inputs clipped to [0, input_range]
+  // Digital shift-and-add periphery cost per partial-sum merge.
+  EnergyPj shift_add_energy{0.05};
+  TimeNs shift_add_latency{0.1};
+
+  [[nodiscard]] Status Validate() const;
+  [[nodiscard]] int slices() const {
+    return (weight_bits - 1 + array.cell.cell_bits - 1) /
+           array.cell.cell_bits;
+  }
+};
+
+struct MvmResult {
+  std::vector<double> y;
+  CostReport cost;
+};
+
+class MvmEngine {
+ public:
+  // in_dim <= array.rows, out_dim <= array.cols. Larger matrices are tiled
+  // across engines by the DPE layer.
+  [[nodiscard]] static Expected<MvmEngine> Create(
+      const MvmEngineParams& params, std::size_t in_dim, std::size_t out_dim,
+      Rng rng);
+
+  [[nodiscard]] std::size_t in_dim() const { return in_dim_; }
+  [[nodiscard]] std::size_t out_dim() const { return out_dim_; }
+  [[nodiscard]] const MvmEngineParams& params() const { return params_; }
+
+  // Quantize and program `weights` (row-major, in_dim x out_dim). Returns
+  // the aggregate programming cost across all slice arrays.
+  [[nodiscard]] Expected<CostReport> ProgramWeights(
+      std::span<const double> weights);
+
+  // Incremental update: diff against the currently programmed codes and
+  // rewrite only the cells whose digit changed — the write-sparse path
+  // that makes in-situ training affordable despite asymmetric writes.
+  // Returns the update cost; result.operations counts rewritten cells.
+  [[nodiscard]] Expected<CostReport> UpdateWeights(
+      std::span<const double> weights);
+
+  // Analog matrix-vector product y = W^T x (x has in_dim entries; y has
+  // out_dim entries).
+  [[nodiscard]] Expected<MvmResult> Compute(std::span<const double> x);
+
+  // Transpose (backward) product g = W e using the crossbar's
+  // bidirectionality — the in-situ backpropagation path. The error vector
+  // `e` (out_dim entries) may be signed: it is split into positive and
+  // negative passes, costing 2x the cycles of a forward MVM.
+  [[nodiscard]] Expected<MvmResult> ComputeTranspose(
+      std::span<const double> e);
+
+  // Exact product of the *quantized* weights with the *quantized* input —
+  // the golden reference that isolates analog error from quantization.
+  [[nodiscard]] Expected<std::vector<double>> GoldenCompute(
+      std::span<const double> x) const;
+
+  // Exact transpose product of the quantized weights with the quantized
+  // (signed) error vector.
+  [[nodiscard]] Expected<std::vector<double>> GoldenComputeTranspose(
+      std::span<const double> e) const;
+
+  // Worst-case |analog - golden| bound per output from one ADC step of
+  // error per (slice, bit) cycle. Used by property tests.
+  [[nodiscard]] double AdcErrorBound() const;
+
+  // Fault injection passthrough: plane 0 = positive, 1 = negative.
+  void InjectCellFault(int plane, int slice, std::size_t row, std::size_t col,
+                       device::CellFault fault);
+
+  void Age(TimeNs elapsed);
+
+ private:
+  MvmEngine(const MvmEngineParams& params, std::size_t in_dim,
+            std::size_t out_dim);
+
+  [[nodiscard]] std::int64_t QuantizeWeight(double w) const;
+  [[nodiscard]] std::uint64_t QuantizeInput(double x) const;
+
+  MvmEngineParams params_;
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  // positive_planes_[s] and negative_planes_[s] hold digit s.
+  std::vector<Crossbar> positive_planes_;
+  std::vector<Crossbar> negative_planes_;
+  std::vector<std::int64_t> weight_codes_;  // in_dim x out_dim, row-major
+  bool programmed_ = false;
+};
+
+}  // namespace cim::crossbar

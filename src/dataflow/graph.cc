@@ -1,0 +1,128 @@
+#include "dataflow/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace cim::dataflow {
+
+Status DataflowGraph::AddNode(GraphNode node) {
+  if (node.name.empty()) return InvalidArgument("node name empty");
+  if (FindNode(node.name) != nullptr) {
+    return AlreadyExists("node name '" + node.name + "' in use");
+  }
+  nodes_.push_back(std::move(node));
+  return Status::Ok();
+}
+
+Status DataflowGraph::AddEdge(const std::string& from, const std::string& to) {
+  if (FindNode(from) == nullptr || FindNode(to) == nullptr) {
+    return NotFound("edge endpoint not a node");
+  }
+  if (from == to) return InvalidArgument("self edge");
+  edges_.push_back(Edge{from, to});
+  return Status::Ok();
+}
+
+const GraphNode* DataflowGraph::FindNode(const std::string& name) const {
+  for (const GraphNode& n : nodes_) {
+    if (n.name == name) return &n;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> DataflowGraph::Sources() const {
+  std::vector<std::string> out;
+  for (const GraphNode& n : nodes_) {
+    if (InDegree(n.name) == 0) out.push_back(n.name);
+  }
+  return out;
+}
+
+std::vector<std::string> DataflowGraph::Sinks() const {
+  std::vector<std::string> out;
+  for (const GraphNode& n : nodes_) {
+    if (Successors(n.name).empty()) out.push_back(n.name);
+  }
+  return out;
+}
+
+std::vector<std::string> DataflowGraph::Successors(
+    const std::string& name) const {
+  std::vector<std::string> out;
+  for (const Edge& e : edges_) {
+    if (e.from == name) out.push_back(e.to);
+  }
+  return out;
+}
+
+std::size_t DataflowGraph::InDegree(const std::string& name) const {
+  std::size_t n = 0;
+  for (const Edge& e : edges_) {
+    if (e.to == name) ++n;
+  }
+  return n;
+}
+
+Status DataflowGraph::Validate() const {
+  if (nodes_.empty()) return InvalidArgument("graph has no nodes");
+  for (const GraphNode& n : nodes_) {
+    const bool uses_mvm =
+        std::any_of(n.program.begin(), n.program.end(),
+                    [](const arch::Instruction& i) {
+                      return i.op == arch::OpCode::kMvm;
+                    });
+    if (uses_mvm && !n.mvm.has_value()) {
+      return FailedPrecondition("node '" + n.name +
+                                "' uses kMvm without an MvmConfig");
+    }
+    if (n.mvm.has_value() &&
+        n.mvm->weights.size() != n.mvm->in_dim * n.mvm->out_dim) {
+      return InvalidArgument("node '" + n.name + "' weight size mismatch");
+    }
+  }
+  auto order = TopologicalOrder();
+  if (!order.ok()) return order.status();
+  return Status::Ok();
+}
+
+Expected<std::vector<std::string>> DataflowGraph::TopologicalOrder() const {
+  std::map<std::string, std::size_t> in_degree;
+  for (const GraphNode& n : nodes_) in_degree[n.name] = 0;
+  for (const Edge& e : edges_) ++in_degree[e.to];
+
+  std::deque<std::string> ready;
+  for (const auto& [name, deg] : in_degree) {
+    if (deg == 0) ready.push_back(name);
+  }
+  std::vector<std::string> order;
+  while (!ready.empty()) {
+    const std::string name = ready.front();
+    ready.pop_front();
+    order.push_back(name);
+    for (const std::string& succ : Successors(name)) {
+      if (--in_degree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return InvalidArgument("graph contains a cycle");
+  }
+  return order;
+}
+
+Expected<DataflowGraph> MakePipeline(std::vector<GraphNode> stages) {
+  DataflowGraph graph;
+  std::string prev;
+  for (GraphNode& stage : stages) {
+    const std::string name = stage.name;
+    if (Status s = graph.AddNode(std::move(stage)); !s.ok()) return s;
+    if (!prev.empty()) {
+      if (Status s = graph.AddEdge(prev, name); !s.ok()) return s;
+    }
+    prev = name;
+  }
+  if (Status s = graph.Validate(); !s.ok()) return s;
+  return graph;
+}
+
+}  // namespace cim::dataflow

@@ -1,0 +1,71 @@
+// Dataflow graph IR (§III.B).
+//
+// A DataflowGraph is a DAG of named compute nodes, each carrying a
+// micro-unit program and optionally an MVM weight matrix. The placer maps
+// nodes onto fabric tiles; the executor runs waves of data through the
+// placed graph over the NoC. Join nodes accumulate (element-wise sum) the
+// payloads of all incoming edges before running — the dataflow firing rule.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/program.h"
+#include "common/status.h"
+#include "crossbar/mvm_engine.h"
+
+namespace cim::dataflow {
+
+struct MvmConfig {
+  crossbar::MvmEngineParams engine;
+  std::size_t in_dim = 0;
+  std::size_t out_dim = 0;
+  std::vector<double> weights;  // row-major in_dim x out_dim
+};
+
+struct GraphNode {
+  std::string name;
+  arch::Program program;
+  std::optional<MvmConfig> mvm;  // required iff program uses OpCode::kMvm
+};
+
+struct Edge {
+  std::string from;
+  std::string to;
+};
+
+class DataflowGraph {
+ public:
+  Status AddNode(GraphNode node);
+  Status AddEdge(const std::string& from, const std::string& to);
+
+  [[nodiscard]] const std::vector<GraphNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] const GraphNode* FindNode(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> Sources() const;  // in-degree 0
+  [[nodiscard]] std::vector<std::string> Sinks() const;    // out-degree 0
+  [[nodiscard]] std::vector<std::string> Successors(
+      const std::string& name) const;
+  [[nodiscard]] std::size_t InDegree(const std::string& name) const;
+
+  // Checks: node names unique, edges reference existing nodes, acyclic,
+  // every kMvm program has an MvmConfig.
+  [[nodiscard]] Status Validate() const;
+
+  // Topological order (validated graphs only).
+  [[nodiscard]] Expected<std::vector<std::string>> TopologicalOrder() const;
+
+ private:
+  std::vector<GraphNode> nodes_;
+  std::vector<Edge> edges_;
+};
+
+// Convenience: a linear pipeline graph node1 -> node2 -> ... .
+[[nodiscard]] Expected<DataflowGraph> MakePipeline(
+    std::vector<GraphNode> stages);
+
+}  // namespace cim::dataflow

@@ -1,0 +1,93 @@
+#include "dataflow/placer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+namespace cim::dataflow {
+namespace {
+
+int Manhattan(noc::NodeId a, noc::NodeId b) {
+  return std::abs(static_cast<int>(a.x) - static_cast<int>(b.x)) +
+         std::abs(static_cast<int>(a.y) - static_cast<int>(b.y));
+}
+
+}  // namespace
+
+Expected<Placement> PlaceGraph(const DataflowGraph& graph,
+                               const PlacerParams& params) {
+  if (params.mesh_width == 0 || params.mesh_height == 0 ||
+      params.capacity_per_tile == 0) {
+    return InvalidArgument("empty placement target");
+  }
+  if (Status s = graph.Validate(); !s.ok()) return s;
+  const std::size_t capacity = static_cast<std::size_t>(params.mesh_width) *
+                               params.mesh_height *
+                               params.capacity_per_tile;
+  if (graph.nodes().size() > capacity) {
+    return CapacityExceeded("graph larger than fabric capacity");
+  }
+
+  auto order = graph.TopologicalOrder();
+  if (!order.ok()) return order.status();
+
+  std::vector<std::size_t> load(
+      static_cast<std::size_t>(params.mesh_width) * params.mesh_height, 0);
+  const auto index = [&params](noc::NodeId n) {
+    return static_cast<std::size_t>(n.y) * params.mesh_width + n.x;
+  };
+
+  // Predecessor lookup.
+  const auto predecessors = [&graph](const std::string& name) {
+    std::vector<std::string> preds;
+    for (const Edge& e : graph.edges()) {
+      if (e.to == name) preds.push_back(e.from);
+    }
+    return preds;
+  };
+
+  Placement placement;
+  for (const std::string& name : *order) {
+    noc::NodeId best{0, 0};
+    int best_cost = std::numeric_limits<int>::max();
+    for (std::uint16_t y = 0; y < params.mesh_height; ++y) {
+      for (std::uint16_t x = 0; x < params.mesh_width; ++x) {
+        const noc::NodeId candidate{x, y};
+        if (load[index(candidate)] >= params.capacity_per_tile) continue;
+        int cost = 0;
+        for (const std::string& pred : predecessors(name)) {
+          const auto it = placement.tiles.find(pred);
+          if (it != placement.tiles.end()) {
+            cost += Manhattan(candidate, it->second);
+          }
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = candidate;
+        }
+      }
+    }
+    if (best_cost == std::numeric_limits<int>::max()) {
+      return CapacityExceeded("no free tile for node " + name);
+    }
+    placement.tiles[name] = best;
+    ++load[index(best)];
+  }
+  return placement;
+}
+
+Expected<int> PlacementCost(const DataflowGraph& graph,
+                            const Placement& placement) {
+  int total = 0;
+  for (const Edge& e : graph.edges()) {
+    auto from = placement.TileOf(e.from);
+    auto to = placement.TileOf(e.to);
+    if (!from.ok()) return from.status();
+    if (!to.ok()) return to.status();
+    total += Manhattan(*from, *to);
+  }
+  return total;
+}
+
+}  // namespace cim::dataflow

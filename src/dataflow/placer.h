@@ -1,0 +1,43 @@
+// Static dataflow placement (§III.B "static dataflow"): map graph nodes onto
+// mesh tiles so connected nodes land close together, then load each node's
+// program (and weights) into its tile's micro-unit.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "dataflow/graph.h"
+#include "noc/packet.h"
+
+namespace cim::dataflow {
+
+struct Placement {
+  // node name -> tile coordinate.
+  std::map<std::string, noc::NodeId> tiles;
+
+  [[nodiscard]] Expected<noc::NodeId> TileOf(const std::string& node) const {
+    const auto it = tiles.find(node);
+    if (it == tiles.end()) return NotFound("node not placed: " + node);
+    return it->second;
+  }
+};
+
+struct PlacerParams {
+  std::uint16_t mesh_width = 4;
+  std::uint16_t mesh_height = 4;
+  std::size_t capacity_per_tile = 1;  // graph nodes per tile
+};
+
+// Greedy BFS placement: nodes are visited in topological order and each is
+// put on the free tile minimizing total Manhattan distance to its already
+// placed predecessors.
+[[nodiscard]] Expected<Placement> PlaceGraph(const DataflowGraph& graph,
+                                             const PlacerParams& params);
+
+// Total hop count of all edges under a placement — the placer's objective,
+// exposed for tests and the topology bench.
+[[nodiscard]] Expected<int> PlacementCost(const DataflowGraph& graph,
+                                          const Placement& placement);
+
+}  // namespace cim::dataflow

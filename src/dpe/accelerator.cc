@@ -1,0 +1,271 @@
+#include "dpe/accelerator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <variant>
+
+namespace cim::dpe {
+namespace {
+
+std::size_t OutDim(std::size_t in, std::size_t kernel, std::size_t stride,
+                   std::size_t padding) {
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+double Activate(double v, nn::Activation act) {
+  switch (act) {
+    case nn::Activation::kNone: return v;
+    case nn::Activation::kRelu: return std::max(v, 0.0);
+    case nn::Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-v));
+  }
+  return v;
+}
+
+}  // namespace
+
+DpeAccelerator::DpeAccelerator(const DpeParams& params,
+                               const nn::Network& net)
+    : params_(params), net_(net) {}
+
+Expected<std::unique_ptr<DpeAccelerator>> DpeAccelerator::Create(
+    const DpeParams& params, const nn::Network& net, Rng rng) {
+  if (Status s = params.Validate(); !s.ok()) return s;
+  if (Status s = net.Validate(); !s.ok()) return s;
+  std::unique_ptr<DpeAccelerator> acc(new DpeAccelerator(params, net));
+
+  for (const nn::Layer& layer : net.layers) {
+    if (const auto* dense = std::get_if<nn::DenseLayer>(&layer)) {
+      MappedMvmLayer mapped;
+      if (Status s = acc->MapMatrix(dense->weights, dense->in_features,
+                                    dense->out_features, rng, &mapped);
+          !s.ok()) {
+        return s;
+      }
+      acc->mvm_layers_.push_back(std::move(mapped));
+    } else if (const auto* conv = std::get_if<nn::Conv2dLayer>(&layer)) {
+      // im2col weight matrix: (ic*k*k) x oc, row-major.
+      const std::size_t k = conv->kernel;
+      const std::size_t in_dim = conv->in_channels * k * k;
+      std::vector<double> matrix(in_dim * conv->out_channels, 0.0);
+      for (std::size_t oc = 0; oc < conv->out_channels; ++oc) {
+        for (std::size_t ic = 0; ic < conv->in_channels; ++ic) {
+          for (std::size_t ky = 0; ky < k; ++ky) {
+            for (std::size_t kx = 0; kx < k; ++kx) {
+              const std::size_t row = (ic * k + ky) * k + kx;
+              matrix[row * conv->out_channels + oc] =
+                  conv->weights[((oc * conv->in_channels + ic) * k + ky) * k +
+                                kx];
+            }
+          }
+        }
+      }
+      MappedMvmLayer mapped;
+      if (Status s = acc->MapMatrix(matrix, in_dim, conv->out_channels, rng,
+                                    &mapped);
+          !s.ok()) {
+        return s;
+      }
+      acc->mvm_layers_.push_back(std::move(mapped));
+    }
+  }
+  return acc;
+}
+
+Status DpeAccelerator::MapMatrix(std::span<const double> matrix,
+                                 std::size_t in_dim, std::size_t out_dim,
+                                 Rng& rng, MappedMvmLayer* mapped) {
+  const std::size_t rows = params_.array.rows;
+  const std::size_t cols = params_.array.cols;
+  mapped->in_dim = in_dim;
+  mapped->out_dim = out_dim;
+
+  crossbar::MvmEngineParams engine_params;
+  engine_params.array = params_.array;
+  engine_params.weight_bits = params_.weight_bits;
+  engine_params.input_bits = params_.input_bits;
+
+  for (std::size_t r0 = 0; r0 < in_dim; r0 += rows) {
+    const std::size_t r_len = std::min(rows, in_dim - r0);
+    for (std::size_t c0 = 0; c0 < out_dim; c0 += cols) {
+      const std::size_t c_len = std::min(cols, out_dim - c0);
+      auto engine = crossbar::MvmEngine::Create(engine_params, r_len, c_len,
+                                                rng.Fork());
+      if (!engine.ok()) return engine.status();
+      // Extract the submatrix.
+      std::vector<double> sub(r_len * c_len);
+      for (std::size_t r = 0; r < r_len; ++r) {
+        for (std::size_t c = 0; c < c_len; ++c) {
+          sub[r * c_len + c] = matrix[(r0 + r) * out_dim + (c0 + c)];
+        }
+      }
+      auto cost = engine->ProgramWeights(sub);
+      if (!cost.ok()) return cost.status();
+      // Tiles program in parallel across engines; serialize within none.
+      program_cost_.energy_pj += cost->energy_pj;
+      program_cost_.latency_ns =
+          std::max(program_cost_.latency_ns, cost->latency_ns);
+      program_cost_.operations += cost->operations;
+      arrays_used_ += 2 * static_cast<std::size_t>(engine_params.slices());
+      mapped->tiles.push_back(EngineTile{std::move(engine.value()), r0, c0,
+                                         r_len, c_len});
+    }
+  }
+  return Status::Ok();
+}
+
+Expected<std::vector<double>> DpeAccelerator::RunMvm(
+    MappedMvmLayer& mapped, std::span<const double> x, CostReport* cost) {
+  if (x.size() != mapped.in_dim) {
+    return InvalidArgument("MVM input dimension mismatch");
+  }
+  std::vector<double> y(mapped.out_dim, 0.0);
+  double max_tile_latency = 0.0;
+  for (EngineTile& tile : mapped.tiles) {
+    auto result = tile.engine.Compute(
+        x.subspan(tile.row_offset, tile.in));
+    if (!result.ok()) return result.status();
+    for (std::size_t c = 0; c < tile.out; ++c) {
+      y[tile.col_offset + c] += result->y[c];
+    }
+    if (cost != nullptr) {
+      cost->energy_pj += result->cost.energy_pj;
+      cost->operations += result->cost.operations;
+      max_tile_latency = std::max(max_tile_latency, result->cost.latency_ns);
+    }
+  }
+  if (cost != nullptr) cost->latency_ns += max_tile_latency;
+  return y;
+}
+
+Expected<nn::Tensor> DpeAccelerator::Infer(const nn::Tensor& input,
+                                           CostReport* cost) {
+  if (input.shape() != net_.input_shape) {
+    return InvalidArgument("input shape mismatch");
+  }
+  nn::Tensor current = input;
+  std::size_t mvm_index = 0;
+  CostReport local;
+  CostReport* acc_cost = cost != nullptr ? cost : &local;
+
+  const auto account_activation = [&](std::size_t elements) {
+    acc_cost->energy_pj +=
+        static_cast<double>(elements) * params_.activation_energy_pj;
+    acc_cost->latency_ns += params_.activation_latency_ns;
+  };
+  const auto account_buffer = [&](std::size_t bytes) {
+    acc_cost->energy_pj +=
+        static_cast<double>(bytes) * params_.buffer_energy_per_byte_pj;
+  };
+
+  for (const nn::Layer& layer : net_.layers) {
+    if (std::holds_alternative<nn::DenseLayer>(layer) &&
+        current.rank() == 3) {
+      current = nn::Tensor({current.size()}, current.vec());
+    }
+    if (const auto* dense = std::get_if<nn::DenseLayer>(&layer)) {
+      MappedMvmLayer& mapped = mvm_layers_[mvm_index++];
+      account_buffer(mapped.in_dim + mapped.out_dim);
+      auto y = RunMvm(mapped, current.vec(), acc_cost);
+      if (!y.ok()) return y.status();
+      for (std::size_t o = 0; o < dense->out_features; ++o) {
+        (*y)[o] = Activate((*y)[o] + dense->bias[o], dense->activation);
+      }
+      account_activation(dense->out_features);
+      current = nn::Tensor({dense->out_features}, std::move(y.value()));
+    } else if (const auto* conv = std::get_if<nn::Conv2dLayer>(&layer)) {
+      MappedMvmLayer& mapped = mvm_layers_[mvm_index++];
+      const std::size_t k = conv->kernel;
+      const std::size_t ih = current.shape()[1];
+      const std::size_t iw = current.shape()[2];
+      const std::size_t oh = OutDim(ih, k, conv->stride, conv->padding);
+      const std::size_t ow = OutDim(iw, k, conv->stride, conv->padding);
+      nn::Tensor out({conv->out_channels, oh, ow});
+      std::vector<double> column(mapped.in_dim, 0.0);
+      // Latency model mirrors the analytical pipeline: pixels serialize in
+      // groups of conv_replication; energy counts every pixel.
+      double pixel_latency = 0.0;
+      std::uint64_t pixels = 0;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          // im2col gather.
+          std::fill(column.begin(), column.end(), 0.0);
+          for (std::size_t ic = 0; ic < conv->in_channels; ++ic) {
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const std::int64_t iy =
+                    static_cast<std::int64_t>(oy * conv->stride + ky) -
+                    static_cast<std::int64_t>(conv->padding);
+                const std::int64_t ix =
+                    static_cast<std::int64_t>(ox * conv->stride + kx) -
+                    static_cast<std::int64_t>(conv->padding);
+                if (iy < 0 || ix < 0 || iy >= static_cast<std::int64_t>(ih) ||
+                    ix >= static_cast<std::int64_t>(iw)) {
+                  continue;
+                }
+                column[(ic * k + ky) * k + kx] =
+                    current.at3(ic, static_cast<std::size_t>(iy),
+                                static_cast<std::size_t>(ix));
+              }
+            }
+          }
+          CostReport pixel_cost;
+          auto y = RunMvm(mapped, column, &pixel_cost);
+          if (!y.ok()) return y.status();
+          acc_cost->energy_pj += pixel_cost.energy_pj;
+          acc_cost->operations += pixel_cost.operations;
+          pixel_latency = std::max(pixel_latency, pixel_cost.latency_ns);
+          ++pixels;
+          for (std::size_t oc = 0; oc < conv->out_channels; ++oc) {
+            out.at3(oc, oy, ox) =
+                Activate((*y)[oc] + conv->bias[oc], conv->activation);
+          }
+        }
+      }
+      const std::uint64_t serialized =
+          (pixels + params_.conv_replication - 1) / params_.conv_replication;
+      acc_cost->latency_ns +=
+          static_cast<double>(serialized) * pixel_latency;
+      account_activation(conv->out_channels * oh * ow);
+      account_buffer((mapped.in_dim + conv->out_channels) * pixels);
+      current = std::move(out);
+    } else if (const auto* pool = std::get_if<nn::MaxPoolLayer>(&layer)) {
+      const std::size_t channels = current.shape()[0];
+      const std::size_t ih = current.shape()[1];
+      const std::size_t iw = current.shape()[2];
+      const std::size_t oh = OutDim(ih, pool->window, pool->stride, 0);
+      const std::size_t ow = OutDim(iw, pool->window, pool->stride, 0);
+      nn::Tensor out({channels, oh, ow});
+      for (std::size_t c = 0; c < channels; ++c) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            double best = -1e300;
+            for (std::size_t ky = 0; ky < pool->window; ++ky) {
+              for (std::size_t kx = 0; kx < pool->window; ++kx) {
+                best = std::max(best, current.at3(c, oy * pool->stride + ky,
+                                                  ox * pool->stride + kx));
+              }
+            }
+            out.at3(c, oy, ox) = best;
+          }
+        }
+      }
+      account_activation(channels * oh * ow);
+      current = std::move(out);
+    }
+  }
+  return current;
+}
+
+Status DpeAccelerator::InjectFault(std::size_t layer_index, std::size_t row,
+                                   std::size_t col,
+                                   device::CellFault fault) {
+  if (layer_index >= mvm_layers_.size()) return OutOfRange("layer index");
+  if (mvm_layers_[layer_index].tiles.empty()) {
+    return FailedPrecondition("layer has no engine tiles");
+  }
+  mvm_layers_[layer_index].tiles.front().engine.InjectCellFault(
+      /*plane=*/0, /*slice=*/0, row, col, fault);
+  return Status::Ok();
+}
+
+}  // namespace cim::dpe

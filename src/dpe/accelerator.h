@@ -1,0 +1,71 @@
+// Behavioural DPE accelerator: actually executes a network on simulated
+// analog crossbars (tiled MvmEngines per layer, digital bias/activation,
+// im2col convolution). Slow but faithful — used for small networks, for
+// accuracy experiments (quantization + analog error vs the float golden
+// model), and to validate the analytical model's cost accounting.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "crossbar/mvm_engine.h"
+#include "dpe/params.h"
+#include "nn/network.h"
+
+namespace cim::dpe {
+
+class DpeAccelerator {
+ public:
+  // Programs all layer weights onto crossbars (the slow write path).
+  [[nodiscard]] static Expected<std::unique_ptr<DpeAccelerator>> Create(
+      const DpeParams& params, const nn::Network& net, Rng rng);
+
+  // Batch-1 inference. Cost of this inference is added to *cost if given.
+  [[nodiscard]] Expected<nn::Tensor> Infer(const nn::Tensor& input,
+                                           CostReport* cost = nullptr);
+
+  [[nodiscard]] const CostReport& program_cost() const {
+    return program_cost_;
+  }
+  [[nodiscard]] std::size_t arrays_used() const { return arrays_used_; }
+
+  // Fault-injection hook: flip one cell in the first engine of layer
+  // `layer_index` (reliability experiments).
+  Status InjectFault(std::size_t layer_index, std::size_t row,
+                     std::size_t col, device::CellFault fault);
+
+ private:
+  struct EngineTile {
+    crossbar::MvmEngine engine;
+    std::size_t row_offset;  // input slice start
+    std::size_t col_offset;  // output slice start
+    std::size_t in;
+    std::size_t out;
+  };
+  struct MappedMvmLayer {
+    std::vector<EngineTile> tiles;
+    std::size_t in_dim;
+    std::size_t out_dim;
+  };
+
+  DpeAccelerator(const DpeParams& params, const nn::Network& net);
+
+  // Split an (in_dim x out_dim) matrix over crossbar-sized engine tiles.
+  Status MapMatrix(std::span<const double> matrix, std::size_t in_dim,
+                   std::size_t out_dim, Rng& rng, MappedMvmLayer* mapped);
+
+  // Run one tiled MVM; returns out_dim partial sums (bias not applied).
+  Expected<std::vector<double>> RunMvm(MappedMvmLayer& mapped,
+                                       std::span<const double> x,
+                                       CostReport* cost);
+
+  DpeParams params_;
+  nn::Network net_;
+  std::vector<MappedMvmLayer> mvm_layers_;  // one per dense/conv layer
+  CostReport program_cost_;
+  std::size_t arrays_used_ = 0;
+};
+
+}  // namespace cim::dpe

@@ -1,0 +1,180 @@
+#include "dpe/analytical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <variant>
+
+namespace cim::dpe {
+namespace {
+
+std::size_t OutDim(std::size_t in, std::size_t kernel, std::size_t stride,
+                   std::size_t padding) {
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+std::size_t CeilDiv(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+Expected<std::vector<LayerMapping>> AnalyticalDpeModel::MapNetwork(
+    const nn::Network& net) const {
+  if (Status s = params_.Validate(); !s.ok()) return s;
+  if (Status s = net.Validate(); !s.ok()) return s;
+
+  const std::size_t rows = params_.array.rows;
+  const std::size_t cols = params_.array.cols;
+  const std::size_t arrays_per_engine = 2 * params_.slices();
+
+  std::vector<LayerMapping> mappings;
+  std::vector<std::size_t> shape = net.input_shape;
+  for (const nn::Layer& layer : net.layers) {
+    if (std::holds_alternative<nn::DenseLayer>(layer) && shape.size() == 3) {
+      shape = {shape[0] * shape[1] * shape[2]};
+    }
+    LayerMapping m;
+    if (const auto* dense = std::get_if<nn::DenseLayer>(&layer)) {
+      m.kind = "dense";
+      m.in_dim = dense->in_features;
+      m.out_dim = dense->out_features;
+      m.row_tiles = CeilDiv(m.in_dim, rows);
+      m.col_tiles = CeilDiv(m.out_dim, cols);
+      m.arrays = m.row_tiles * m.col_tiles * arrays_per_engine;
+      m.mvm_invocations = 1;
+      shape = {dense->out_features};
+    } else if (const auto* conv = std::get_if<nn::Conv2dLayer>(&layer)) {
+      const std::size_t oh =
+          OutDim(shape[1], conv->kernel, conv->stride, conv->padding);
+      const std::size_t ow =
+          OutDim(shape[2], conv->kernel, conv->stride, conv->padding);
+      m.kind = "conv";
+      m.in_dim = conv->in_channels * conv->kernel * conv->kernel;
+      m.out_dim = conv->out_channels;
+      m.row_tiles = CeilDiv(m.in_dim, rows);
+      m.col_tiles = CeilDiv(m.out_dim, cols);
+      m.arrays = m.row_tiles * m.col_tiles * arrays_per_engine *
+                 params_.conv_replication;
+      m.mvm_invocations = static_cast<std::uint64_t>(oh) * ow;
+      shape = {conv->out_channels, oh, ow};
+    } else if (const auto* pool = std::get_if<nn::MaxPoolLayer>(&layer)) {
+      m.kind = "pool";
+      m.in_dim = shape[0];
+      m.out_dim = shape[0];
+      m.mvm_invocations =
+          static_cast<std::uint64_t>(OutDim(shape[1], pool->window,
+                                            pool->stride, 0)) *
+          OutDim(shape[2], pool->window, pool->stride, 0);
+      shape = {shape[0], OutDim(shape[1], pool->window, pool->stride, 0),
+               OutDim(shape[2], pool->window, pool->stride, 0)};
+    }
+    mappings.push_back(m);
+  }
+  return mappings;
+}
+
+Expected<InferenceEstimate> AnalyticalDpeModel::EstimateInference(
+    const nn::Network& net) const {
+  auto mappings = MapNetwork(net);
+  if (!mappings.ok()) return mappings.status();
+
+  const std::size_t rows = params_.array.rows;
+  const std::size_t cols = params_.array.cols;
+
+  InferenceEstimate est;
+  est.macs = net.TotalMacs();
+
+  // Pipeline model: fill = one invocation per layer; steady state is
+  // bottlenecked by the layer with the most serialized invocations.
+  double fill_latency = 0.0;
+  double bottleneck_latency = 0.0;
+
+  for (const LayerMapping& m : *mappings) {
+    if (m.kind == "pool") {
+      // Digital comparator pass, pipelined with the conv layers.
+      const double elements =
+          static_cast<double>(m.mvm_invocations) * m.out_dim;
+      est.energy_pj += elements * params_.activation_energy_pj;
+      est.buffer_bytes += elements;  // one byte per activation through eDRAM
+      continue;
+    }
+    est.arrays_used += m.arrays;
+
+    // Columns actually carrying weights in each array of this layer.
+    const auto used_cols = static_cast<std::size_t>(
+        static_cast<double>(m.out_dim) / static_cast<double>(m.col_tiles));
+
+    // One MVM invocation: input_bits analog cycles across all the layer's
+    // engines in parallel.
+    const double inv_latency =
+        params_.input_bits * params_.CycleLatencyNs(used_cols) +
+        params_.activation_latency_ns;
+
+    // Serialized invocations after replication.
+    const std::size_t replication =
+        m.kind == "conv" ? params_.conv_replication : 1;
+    const std::uint64_t serialized =
+        CeilDiv(m.mvm_invocations, replication);
+
+    fill_latency += inv_latency;
+    bottleneck_latency = std::max(
+        bottleneck_latency, static_cast<double>(serialized) * inv_latency);
+
+    // --- energy -----------------------------------------------------------
+    // Analog cycles: per invocation, every array fires input_bits times.
+    // Average active rows: full tiles drive all `rows`, the last row-tile
+    // drives the remainder.
+    const double avg_active_rows =
+        static_cast<double>(m.in_dim) / static_cast<double>(m.row_tiles);
+    const double arrays_per_invocation =
+        static_cast<double>(m.arrays) / replication;
+    const double analog_energy_per_inv =
+        arrays_per_invocation * params_.input_bits *
+        params_.CycleEnergyPj(static_cast<std::size_t>(avg_active_rows),
+                              used_cols);
+    // Digital merge: shift-and-add across slices, planes and row tiles.
+    const double shift_add_per_inv =
+        static_cast<double>(m.out_dim) * m.row_tiles * params_.input_bits *
+        params_.shift_add_energy_pj;
+    const double activation_per_inv =
+        static_cast<double>(m.out_dim) * params_.activation_energy_pj;
+    // Buffer + H-tree traffic (8-bit activations).
+    const double buffer_bytes_per_inv =
+        static_cast<double>(m.in_dim) + static_cast<double>(m.out_dim);
+    const double buffer_energy_per_inv =
+        buffer_bytes_per_inv * params_.buffer_energy_per_byte_pj +
+        static_cast<double>(m.out_dim) * params_.htree_energy_per_byte_pj;
+
+    est.energy_pj += static_cast<double>(m.mvm_invocations) *
+                     (analog_energy_per_inv + shift_add_per_inv +
+                      activation_per_inv + buffer_energy_per_inv);
+    est.buffer_bytes +=
+        static_cast<double>(m.mvm_invocations) * buffer_bytes_per_inv;
+
+    // Weight bytes touched in-array: every analog cycle reads the weights
+    // stored on the active rows of the gated columns of every array.
+    est.weight_bytes_touched +=
+        static_cast<double>(m.mvm_invocations) * params_.input_bits *
+        arrays_per_invocation * avg_active_rows *
+        static_cast<double>(used_cols) * params_.array.cell.cell_bits / 8.0;
+
+    // Programming (done once; arrays program row-serially, all arrays in
+    // parallel). Average one program-verify iteration per row in the
+    // analytical model.
+    const double per_row_program =
+        params_.array.cell.set_latency.ns + params_.array.cell.read_latency.ns;
+    est.program_latency_ns =
+        std::max(est.program_latency_ns,
+                 static_cast<double>(rows) * per_row_program);
+    est.program_energy_pj +=
+        static_cast<double>(m.arrays) * static_cast<double>(rows) * cols *
+        (params_.array.cell.write_energy.pj + params_.array.cell.read_energy.pj);
+  }
+
+  est.latency_ns = fill_latency + bottleneck_latency;
+  // Static power of resident arrays over the inference.
+  est.energy_pj += params_.static_power_per_array_w *
+                   static_cast<double>(est.arrays_used) * est.latency_ns *
+                   1e3;  // W * ns = 1e-9 J = 1e3 pJ... (1 W*ns = 1e3 pJ)
+  return est;
+}
+
+}  // namespace cim::dpe

@@ -1,0 +1,112 @@
+// Dot Product Engine configuration (§VI).
+//
+// The DPE is HPE's follow-on to ISAAC: crossbar in-situ MACs, 1-bit input
+// streaming DACs, shared SAR ADCs, eDRAM activation buffers, digital
+// shift-and-add and activation units. Constants below are in the ISAAC
+// operating envelope (ISCA'16) — the substitution for the unpublished DPE
+// silicon numbers. The §VI claims are order-of-magnitude ratios, which these
+// constants preserve.
+#pragma once
+
+#include "common/status.h"
+#include "crossbar/crossbar.h"
+
+namespace cim::dpe {
+
+struct DpeParams {
+  crossbar::CrossbarParams array;  // 128x128, 2-bit cells, 8-bit shared ADC
+  int weight_bits = 8;
+  int input_bits = 8;
+
+  // eDRAM activation buffer.
+  double buffer_energy_per_byte_pj = 0.5;
+  double buffer_bandwidth_gbps = 160.0;  // per tile
+
+  // Digital periphery.
+  double shift_add_energy_pj = 0.05;     // per output per cycle
+  double activation_energy_pj = 0.2;     // per element (sigmoid/ReLU LUT)
+  double activation_latency_ns = 0.5;    // per vector (pipelined)
+
+  // On-chip H-tree interconnect between tiles.
+  double htree_energy_per_byte_pj = 1.5;
+  double htree_latency_ns = 20.0;        // per inter-layer transfer
+
+  // Static (leakage + clocking) power per active array, watts.
+  double static_power_per_array_w = 2.4e-4;
+
+  // Convolution layers are replicated this many times so pixels process in
+  // parallel (ISAAC's throughput-balancing replication; early conv layers
+  // are tiny, so heavy replication is cheap in arrays).
+  std::size_t conv_replication = 128;
+
+  // Physical capacity used by the multi-board scaling model.
+  std::size_t arrays_per_board = 8192;
+  // Board-to-board interconnect.
+  double board_link_bandwidth_gbps = 25.0;
+  double board_link_latency_ns = 500.0;
+  double board_link_energy_per_byte_pj = 10.0;
+
+  [[nodiscard]] static DpeParams Isaac() {
+    DpeParams p;
+    p.array.rows = 128;
+    p.array.cols = 128;
+    p.array.cell.cell_bits = 2;
+    p.array.cell.read_latency = TimeNs(10.0);
+    p.array.cell.set_latency = TimeNs(100.0);
+    p.array.cell.reset_latency = TimeNs(1000.0);
+    p.array.cell.read_energy = EnergyPj(0.01);  // low-voltage in-situ MAC
+    p.array.cell.write_energy = EnergyPj(100.0);
+    p.array.adc.bits = 8;
+    p.array.dac.bits = 1;
+    p.array.columns_per_adc = 128;
+    return p;
+  }
+
+  [[nodiscard]] Status Validate() const {
+    if (weight_bits < 2 || input_bits < 1) {
+      return InvalidArgument("bad precision configuration");
+    }
+    if (arrays_per_board == 0) {
+      return InvalidArgument("arrays_per_board == 0");
+    }
+    return array.Validate();
+  }
+
+  [[nodiscard]] int slices() const {
+    return (weight_bits - 1 + array.cell.cell_bits - 1) /
+           array.cell.cell_bits;
+  }
+
+  // Latency of one analog bit-cycle (DAC settle + read pulse + the serial
+  // conversions of one shared ADC over the gated columns).
+  [[nodiscard]] double CycleLatencyNs(std::size_t used_cols = 0) const {
+    if (used_cols == 0 || used_cols > array.cols) used_cols = array.cols;
+    const double conversions =
+        static_cast<double>(std::min(array.columns_per_adc, used_cols));
+    return array.dac.settle_latency.ns + array.cell.read_latency.ns +
+           conversions * array.adc.conversion_latency().ns;
+  }
+
+  // Energy of one analog bit-cycle of one array with `active_rows` driven
+  // and `used_cols` carrying programmed weights. Cell read energy is
+  // conductance-proportional: the used region averages half of g_on for
+  // random weights; the unused region sits at g_off (negligible).
+  [[nodiscard]] double CycleEnergyPj(std::size_t active_rows,
+                                     std::size_t used_cols = 0) const {
+    if (used_cols == 0 || used_cols > array.cols) used_cols = array.cols;
+    constexpr double kAvgConductanceFraction = 0.5;
+    const double g_ratio =
+        array.cell.g_off_siemens / array.cell.g_on_siemens;
+    const double cell_energy =
+        static_cast<double>(active_rows) * array.cell.read_energy.pj *
+        (static_cast<double>(used_cols) * kAvgConductanceFraction +
+         static_cast<double>(array.cols - used_cols) * g_ratio);
+    const double adc_energy = static_cast<double>(used_cols) *
+                              array.adc.conversion_energy().pj;
+    const double dac_energy = static_cast<double>(active_rows) *
+                              array.dac.drive_energy.pj;
+    return cell_energy + adc_energy + dac_energy;
+  }
+};
+
+}  // namespace cim::dpe

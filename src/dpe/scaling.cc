@@ -1,0 +1,89 @@
+#include "dpe/scaling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cim::dpe {
+
+Expected<ScalingReport> MultiBoardModel::Evaluate(
+    const nn::Network& net, std::size_t boards,
+    double weight_updates_per_sec, bool hide_writes) const {
+  if (boards == 0) return InvalidArgument("need >= 1 board");
+  auto estimate = model_.EstimateInference(net);
+  if (!estimate.ok()) return estimate.status();
+  auto mappings = model_.MapNetwork(net);
+  if (!mappings.ok()) return mappings.status();
+
+  const DpeParams& p = model_.params();
+  ScalingReport report;
+
+  // Array demand per replica (doubled when write hiding shadows every
+  // array).
+  const std::size_t arrays_per_replica =
+      estimate->arrays_used * (hide_writes ? 2 : 1);
+  report.boards_needed =
+      std::max<std::size_t>(1, (arrays_per_replica + p.arrays_per_board - 1) /
+                                   p.arrays_per_board);
+  if (boards < report.boards_needed) {
+    return CapacityExceeded("network does not fit on the given boards");
+  }
+  report.replicas = std::max<std::size_t>(1, boards / report.boards_needed);
+  report.arrays_total = arrays_per_replica * report.replicas;
+
+  // Sequentially pack layers onto the boards of one replica; each layer
+  // boundary that crosses a board pays a link transfer of its activation
+  // vector (8-bit activations).
+  double interboard_bytes = 0.0;
+  double crossing_latency = 0.0;
+  if (report.boards_needed > 1) {
+    const double capacity = static_cast<double>(p.arrays_per_board) *
+                            (hide_writes ? 0.5 : 1.0);
+    double used = 0.0;
+    for (const LayerMapping& m : *mappings) {
+      if (m.arrays == 0) continue;
+      if (used + static_cast<double>(m.arrays) > capacity && used > 0.0) {
+        // This layer starts on the next board: its whole input activation
+        // stream crosses the link.
+        const double bytes =
+            static_cast<double>(m.in_dim) *
+            static_cast<double>(std::max<std::uint64_t>(m.mvm_invocations, 1));
+        interboard_bytes += bytes;
+        crossing_latency +=
+            p.board_link_latency_ns +
+            bytes / p.board_link_bandwidth_gbps;  // GB/s == bytes/ns
+        used = 0.0;
+      }
+      used += static_cast<double>(m.arrays);
+      while (used > capacity) used -= capacity;
+    }
+  }
+  report.interboard_bytes = interboard_bytes;
+  report.single_latency_ns = estimate->latency_ns + crossing_latency;
+
+  // Throughput: each replica pipelines inferences at the bottleneck stage;
+  // conservatively use the full single-inference latency as the initiation
+  // interval (no intra-replica overlap), letting replicas scale linearly.
+  const double base_throughput =
+      report.replicas * 1e9 / report.single_latency_ns;
+  report.throughput_per_sec = base_throughput;
+  report.scaling_efficiency =
+      base_throughput /
+      (static_cast<double>(boards) /
+       static_cast<double>(report.boards_needed) * 1e9 /
+       estimate->latency_ns);
+
+  // Weight updates: a full reprogram takes program_latency (rows written
+  // serially, arrays in parallel). Without hiding, inference stalls for the
+  // duration; with hiding, shadow arrays absorb it.
+  const double update_seconds_per_update =
+      estimate->program_latency_ns * 1e-9;
+  const double stall =
+      hide_writes ? 0.0
+                  : std::min(1.0, weight_updates_per_sec *
+                                      update_seconds_per_update);
+  report.update_stall_fraction = stall;
+  report.effective_throughput_per_sec = base_throughput * (1.0 - stall);
+  return report;
+}
+
+}  // namespace cim::dpe

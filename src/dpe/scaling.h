@@ -1,0 +1,54 @@
+// Multi-board scaling model (§VI: "we consider acceptable scaling to
+// existing neural networks by having multiple boards interconnected through
+// standard and proprietary interconnects. Most of the challenges we expect
+// in terms of hiding the asymmetric latency for writing memristor based
+// devices.")
+//
+// The model packs a network's arrays onto boards, charges board-link
+// transfers for layer boundaries that cross boards, replicates the network
+// across spare boards for throughput, and evaluates the effect of weight
+// updates (the slow asymmetric write path) with and without write hiding
+// (double-buffered arrays that reprogram in the shadow copy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dpe/analytical.h"
+
+namespace cim::dpe {
+
+struct ScalingReport {
+  std::size_t boards_needed = 0;      // to hold one network replica
+  std::size_t replicas = 0;           // fitting in the given boards
+  double single_latency_ns = 0.0;     // one inference incl. board crossings
+  double throughput_per_sec = 0.0;    // across all replicas
+  double scaling_efficiency = 0.0;    // throughput / (replicas-ideal)
+  double interboard_bytes = 0.0;      // per inference
+  // Weight-update effects.
+  double update_stall_fraction = 0.0; // fraction of time lost to writes
+  double effective_throughput_per_sec = 0.0;
+  std::size_t arrays_total = 0;       // incl. shadow copies if hiding
+};
+
+class MultiBoardModel {
+ public:
+  explicit MultiBoardModel(DpeParams params = DpeParams::Isaac())
+      : model_(std::move(params)) {}
+
+  // Evaluate running `net` on `boards` boards while applying
+  // `weight_updates_per_sec` full-network reprogram operations.
+  // `hide_writes` doubles the array budget (shadow arrays) but removes the
+  // stall — the mitigation §VI hints at.
+  [[nodiscard]] Expected<ScalingReport> Evaluate(
+      const nn::Network& net, std::size_t boards,
+      double weight_updates_per_sec, bool hide_writes) const;
+
+  [[nodiscard]] const AnalyticalDpeModel& model() const { return model_; }
+
+ private:
+  AnalyticalDpeModel model_;
+};
+
+}  // namespace cim::dpe

@@ -1,0 +1,118 @@
+#include "dpe/training.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cim::dpe {
+
+Expected<std::unique_ptr<AnalogLayerTrainer>> AnalogLayerTrainer::Create(
+    const TrainerParams& params, std::size_t in_dim, std::size_t out_dim,
+    std::span<const double> initial_weights, Rng rng) {
+  if (Status s = params.Validate(); !s.ok()) return s;
+  if (initial_weights.size() != in_dim * out_dim) {
+    return InvalidArgument("initial weight size mismatch");
+  }
+  std::unique_ptr<AnalogLayerTrainer> trainer(
+      new AnalogLayerTrainer(params, in_dim, out_dim));
+  auto engine = crossbar::MvmEngine::Create(params.engine, in_dim, out_dim,
+                                            rng);
+  if (!engine.ok()) return engine.status();
+  trainer->engine_ =
+      std::make_unique<crossbar::MvmEngine>(std::move(engine.value()));
+  trainer->shadow_.assign(initial_weights.begin(), initial_weights.end());
+  auto cost = trainer->engine_->ProgramWeights(initial_weights);
+  if (!cost.ok()) return cost.status();
+  trainer->report_.write_cost += *cost;
+  return trainer;
+}
+
+AnalogLayerTrainer::AnalogLayerTrainer(const TrainerParams& params,
+                                       std::size_t in_dim,
+                                       std::size_t out_dim)
+    : params_(params), in_dim_(in_dim), out_dim_(out_dim) {}
+
+Expected<double> AnalogLayerTrainer::Step(std::span<const double> x,
+                                          std::span<const double> target) {
+  if (x.size() != in_dim_ || target.size() != out_dim_) {
+    return InvalidArgument("sample dimension mismatch");
+  }
+  // Forward on the analog arrays.
+  auto forward = engine_->Compute(x);
+  if (!forward.ok()) return forward.status();
+  report_.forward_cost += forward->cost;
+
+  // MSE loss and output error.
+  std::vector<double> error(out_dim_);
+  double loss = 0.0;
+  for (std::size_t o = 0; o < out_dim_; ++o) {
+    error[o] = forward->y[o] - target[o];
+    loss += error[o] * error[o];
+  }
+  loss /= static_cast<double>(out_dim_);
+
+  // Backward through the arrays (computes W*e for a previous layer; also
+  // exercises the transpose path even though this single layer only needs
+  // the outer-product gradient).
+  auto backward = engine_->ComputeTranspose(error);
+  if (!backward.ok()) return backward.status();
+  report_.backward_cost += backward->cost;
+
+  // Digital shadow update: dW[r][c] = x[r] * error[c].
+  for (std::size_t r = 0; r < in_dim_; ++r) {
+    if (x[r] == 0.0) continue;
+    for (std::size_t c = 0; c < out_dim_; ++c) {
+      shadow_[r * out_dim_ + c] -=
+          params_.learning_rate * x[r] * error[c];
+      shadow_[r * out_dim_ + c] = std::clamp(
+          shadow_[r * out_dim_ + c], -params_.engine.weight_range,
+          params_.engine.weight_range);
+    }
+  }
+  report_.digital_energy_pj += params_.digital_energy_per_op_pj *
+                               static_cast<double>(in_dim_ * out_dim_);
+
+  ++report_.samples;
+  if (++steps_since_write_ >= params_.write_batch) {
+    if (Status s = Flush(); !s.ok()) return s;
+  }
+  return loss;
+}
+
+Status AnalogLayerTrainer::Flush() {
+  steps_since_write_ = 0;
+  auto cost = engine_->UpdateWeights(shadow_);
+  if (!cost.ok()) return cost.status();
+  report_.write_cost += *cost;
+  report_.cells_rewritten += cost->operations;
+  return Status::Ok();
+}
+
+Expected<TrainingReport> AnalogLayerTrainer::Train(
+    std::span<const std::vector<double>> inputs,
+    std::span<const std::vector<double>> targets, int epochs) {
+  if (inputs.size() != targets.size() || inputs.empty()) {
+    return InvalidArgument("dataset shape mismatch");
+  }
+  if (epochs < 1) return InvalidArgument("epochs < 1");
+
+  double first_epoch_loss = 0.0;
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      auto loss = Step(inputs[i], targets[i]);
+      if (!loss.ok()) return loss.status();
+      epoch_loss += *loss;
+    }
+    epoch_loss /= static_cast<double>(inputs.size());
+    if (epoch == 0) first_epoch_loss = epoch_loss;
+    last_epoch_loss = epoch_loss;
+  }
+  if (Status s = Flush(); !s.ok()) return s;
+  TrainingReport report = report_;
+  report.initial_loss = first_epoch_loss;
+  report.final_loss = last_epoch_loss;
+  return report;
+}
+
+}  // namespace cim::dpe

@@ -1,0 +1,98 @@
+// In-situ training on the DPE (§III.B: static-dataflow CIM "enables more
+// opportunities for training, as well as feed-forward and closed loops";
+// §VI: the asymmetric write latency is the cost being managed).
+//
+// Mixed-signal SGD in the style practical memristor trainers use:
+//   * forward pass on the analog crossbars (MvmEngine::Compute),
+//   * error backpropagation through the same arrays in the transpose
+//     direction (MvmEngine::ComputeTranspose) — no separate weight copy,
+//   * gradient accumulation in a digital float shadow of the weights,
+//   * periodic write-sparse pushes of the shadow into the arrays
+//     (MvmEngine::UpdateWeights), amortizing the slow writes.
+// The trainer reports the analog/digital/write cost split so benchmarks
+// can show where training time goes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "crossbar/mvm_engine.h"
+
+namespace cim::dpe {
+
+struct TrainerParams {
+  crossbar::MvmEngineParams engine;
+  double learning_rate = 0.05;
+  // Push the shadow weights into the arrays every N samples; larger values
+  // amortize writes at the cost of staler analog weights.
+  int write_batch = 8;
+  double digital_energy_per_op_pj = 1.0;  // shadow-update MACs
+
+  [[nodiscard]] Status Validate() const {
+    if (learning_rate <= 0.0) return InvalidArgument("learning_rate <= 0");
+    if (write_batch < 1) return InvalidArgument("write_batch < 1");
+    return engine.Validate();
+  }
+};
+
+struct TrainingReport {
+  int samples = 0;
+  double initial_loss = 0.0;
+  double final_loss = 0.0;
+  CostReport forward_cost;
+  CostReport backward_cost;
+  CostReport write_cost;
+  double digital_energy_pj = 0.0;
+  std::uint64_t cells_rewritten = 0;
+
+  [[nodiscard]] double write_fraction_of_latency() const {
+    const double total = forward_cost.latency_ns + backward_cost.latency_ns +
+                         write_cost.latency_ns;
+    return total > 0.0 ? write_cost.latency_ns / total : 0.0;
+  }
+};
+
+// A single analog dense layer (in -> out, no bias) trained with MSE loss
+// against provided targets. The common substrate for the training bench
+// and tests; multi-layer training composes these.
+class AnalogLayerTrainer {
+ public:
+  [[nodiscard]] static Expected<std::unique_ptr<AnalogLayerTrainer>> Create(
+      const TrainerParams& params, std::size_t in_dim, std::size_t out_dim,
+      std::span<const double> initial_weights, Rng rng);
+
+  // One SGD step on (x, target); returns the per-sample MSE loss before
+  // the update.
+  [[nodiscard]] Expected<double> Step(std::span<const double> x,
+                                      std::span<const double> target);
+
+  // Train over the dataset for `epochs`; returns the aggregate report.
+  [[nodiscard]] Expected<TrainingReport> Train(
+      std::span<const std::vector<double>> inputs,
+      std::span<const std::vector<double>> targets, int epochs);
+
+  // Flush pending shadow weights into the arrays.
+  Status Flush();
+
+  [[nodiscard]] const std::vector<double>& shadow_weights() const {
+    return shadow_;
+  }
+  [[nodiscard]] crossbar::MvmEngine& engine() { return *engine_; }
+
+ private:
+  AnalogLayerTrainer(const TrainerParams& params, std::size_t in_dim,
+                     std::size_t out_dim);
+
+  TrainerParams params_;
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  std::unique_ptr<crossbar::MvmEngine> engine_;
+  std::vector<double> shadow_;  // float master copy of the weights
+  int steps_since_write_ = 0;
+  TrainingReport report_;
+};
+
+}  // namespace cim::dpe

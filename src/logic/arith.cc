@@ -1,0 +1,128 @@
+#include "logic/arith.h"
+
+namespace cim::logic {
+namespace {
+
+// Scratch register layout shared by both adder families.
+constexpr std::size_t kRegA = 0;
+constexpr std::size_t kRegB = 1;
+constexpr std::size_t kRegCin = 2;
+constexpr std::size_t kRegT1 = 3;  // t1..t7 gate outputs
+constexpr std::size_t kRegT4 = 6;
+constexpr std::size_t kRegT5 = 7;
+constexpr std::size_t kRegSum = 10;
+constexpr std::size_t kRegCout = 11;
+constexpr std::size_t kMinRegisters = 16;
+
+}  // namespace
+
+Expected<AdderResult> ImplyRippleAdd(ImplyEngine& engine, std::uint64_t a,
+                                     std::uint64_t b, int bits) {
+  if (bits < 1 || bits > 64) return InvalidArgument("bits must be in [1,64]");
+  if (engine.register_count() < kMinRegisters) {
+    return InvalidArgument("ImplyRippleAdd needs >= 16 registers");
+  }
+  engine.ResetCost();
+
+  AdderResult result;
+  bool carry = false;
+  for (int i = 0; i < bits; ++i) {
+    const bool abit = (a >> i) & 1;
+    const bool bbit = (b >> i) & 1;
+    if (Status s = engine.WriteBit(kRegA, abit); !s.ok()) return s;
+    if (Status s = engine.WriteBit(kRegB, bbit); !s.ok()) return s;
+    if (Status s = engine.WriteBit(kRegCin, carry); !s.ok()) return s;
+
+    // NAND-decomposed full adder (9 gates, 27 cycles):
+    //   n1 = NAND(a,b); n2 = NAND(a,n1); n3 = NAND(b,n1); n4 = NAND(n2,n3)
+    //   n5 = NAND(n4,c); n6 = NAND(n4,n5); n7 = NAND(c,n5)
+    //   sum = NAND(n6,n7); cout = NAND(n1,n5)
+    if (Status s = engine.Nand(kRegA, kRegB, kRegT1); !s.ok()) return s;
+    if (Status s = engine.Nand(kRegA, kRegT1, kRegT1 + 1); !s.ok()) return s;
+    if (Status s = engine.Nand(kRegB, kRegT1, kRegT1 + 2); !s.ok()) return s;
+    if (Status s = engine.Nand(kRegT1 + 1, kRegT1 + 2, kRegT4); !s.ok()) {
+      return s;
+    }
+    if (Status s = engine.Nand(kRegT4, kRegCin, kRegT5); !s.ok()) return s;
+    if (Status s = engine.Nand(kRegT4, kRegT5, kRegT5 + 1); !s.ok()) return s;
+    if (Status s = engine.Nand(kRegCin, kRegT5, kRegT5 + 2); !s.ok()) return s;
+    if (Status s = engine.Nand(kRegT5 + 1, kRegT5 + 2, kRegSum); !s.ok()) {
+      return s;
+    }
+    if (Status s = engine.Nand(kRegT1, kRegT5, kRegCout); !s.ok()) return s;
+
+    auto sum_bit = engine.ReadBit(kRegSum);
+    auto carry_bit = engine.ReadBit(kRegCout);
+    if (!sum_bit.ok()) return sum_bit.status();
+    if (!carry_bit.ok()) return carry_bit.status();
+    if (*sum_bit) result.sum |= std::uint64_t{1} << i;
+    carry = *carry_bit;
+  }
+  result.carry_out = carry;
+  result.cost = engine.cost();
+  return result;
+}
+
+Expected<AdderResult> MagicRippleAdd(MagicNorEngine& engine, std::uint64_t a,
+                                     std::uint64_t b, int bits) {
+  if (bits < 1 || bits > 64) return InvalidArgument("bits must be in [1,64]");
+  if (engine.register_count() < kMinRegisters) {
+    return InvalidArgument("MagicRippleAdd needs >= 16 registers");
+  }
+  engine.ResetCost();
+
+  // Each MAGIC NOR needs its output latch pre-set: Init + Nor = 2 cycles.
+  const auto nor = [&engine](std::size_t x, std::size_t y,
+                             std::size_t dst) -> Status {
+    if (Status s = engine.Init(dst); !s.ok()) return s;
+    return engine.Nor(x, y, dst);
+  };
+
+  AdderResult result;
+  bool carry = false;
+  for (int i = 0; i < bits; ++i) {
+    const bool abit = (a >> i) & 1;
+    const bool bbit = (b >> i) & 1;
+    if (Status s = engine.WriteBit(kRegA, abit); !s.ok()) return s;
+    if (Status s = engine.WriteBit(kRegB, bbit); !s.ok()) return s;
+    if (Status s = engine.WriteBit(kRegCin, carry); !s.ok()) return s;
+
+    // NOR-decomposed full adder (9 gates):
+    //   t1 = NOR(a,b); t2 = NOR(a,t1); t3 = NOR(b,t1); t4 = NOR(t2,t3)
+    //     (t4 == XNOR(a,b))
+    //   t5 = NOR(t4,c); t6 = NOR(t4,t5); t7 = NOR(c,t5)
+    //   sum = NOR(t6,t7) == XNOR(t4,c); cout = NOR(t1,t5)
+    if (Status s = nor(kRegA, kRegB, kRegT1); !s.ok()) return s;
+    if (Status s = nor(kRegA, kRegT1, kRegT1 + 1); !s.ok()) return s;
+    if (Status s = nor(kRegB, kRegT1, kRegT1 + 2); !s.ok()) return s;
+    if (Status s = nor(kRegT1 + 1, kRegT1 + 2, kRegT4); !s.ok()) return s;
+    if (Status s = nor(kRegT4, kRegCin, kRegT5); !s.ok()) return s;
+    if (Status s = nor(kRegT4, kRegT5, kRegT5 + 1); !s.ok()) return s;
+    if (Status s = nor(kRegCin, kRegT5, kRegT5 + 2); !s.ok()) return s;
+    if (Status s = nor(kRegT5 + 1, kRegT5 + 2, kRegSum); !s.ok()) return s;
+    if (Status s = nor(kRegT1, kRegT5, kRegCout); !s.ok()) return s;
+
+    auto sum_bit = engine.ReadBit(kRegSum);
+    auto carry_bit = engine.ReadBit(kRegCout);
+    if (!sum_bit.ok()) return sum_bit.status();
+    if (!carry_bit.ok()) return carry_bit.status();
+    if (*sum_bit) result.sum |= std::uint64_t{1} << i;
+    carry = *carry_bit;
+  }
+  result.carry_out = carry;
+  result.cost = engine.cost();
+  return result;
+}
+
+Expected<bool> BulkRowsEqual(BulkBitwiseEngine& engine, std::size_t row_a,
+                             std::size_t row_b, std::size_t scratch) {
+  if (Status s = engine.Xor(row_a, row_b, scratch); !s.ok()) return s;
+  auto row = engine.ReadRow(scratch);
+  if (!row.ok()) return row.status();
+  for (std::uint64_t word : *row) {
+    if (word != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace cim::logic

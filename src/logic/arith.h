@@ -1,0 +1,44 @@
+// Arithmetic circuits synthesized from stateful-logic primitives.
+//
+// Demonstrates the §III.A claim that full arithmetic builds on either
+// primitive family, and exposes the per-family cycle cost so benchmarks can
+// compare them:
+//   * IMPLY family: full adder = 9 NAND gates = 27 array cycles,
+//   * MAGIC family: full adder = 9 NOR gates, each needing an output
+//     pre-set, = 18 array cycles,
+// plus operand-load cycles in both cases.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "logic/stateful_logic.h"
+
+namespace cim::logic {
+
+struct AdderResult {
+  std::uint64_t sum = 0;
+  bool carry_out = false;
+  CostReport cost;
+};
+
+// Ripple-carry add of two `bits`-wide operands on an ImplyEngine.
+// The engine needs at least 16 registers.
+[[nodiscard]] Expected<AdderResult> ImplyRippleAdd(ImplyEngine& engine,
+                                                   std::uint64_t a,
+                                                   std::uint64_t b, int bits);
+
+// The same adder on a MagicNorEngine (at least 16 registers).
+[[nodiscard]] Expected<AdderResult> MagicRippleAdd(MagicNorEngine& engine,
+                                                   std::uint64_t a,
+                                                   std::uint64_t b, int bits);
+
+// Row-parallel equality compare on a BulkBitwiseEngine: XOR the two rows,
+// OR-reduce the result. Uses rows `scratch` and `scratch+1` as temporaries.
+[[nodiscard]] Expected<bool> BulkRowsEqual(BulkBitwiseEngine& engine,
+                                           std::size_t row_a,
+                                           std::size_t row_b,
+                                           std::size_t scratch);
+
+}  // namespace cim::logic

@@ -1,0 +1,115 @@
+#include "logic/associative.h"
+
+#include <span>
+
+namespace cim::logic {
+
+Expected<TcamArray> TcamArray::Create(const TcamParams& params) {
+  if (Status s = params.Validate(); !s.ok()) return s;
+  return TcamArray(params);
+}
+
+TcamArray::TcamArray(const TcamParams& params)
+    : params_(params),
+      cells_(params.rows * params.width_bits, Ternary::kDontCare),
+      valid_(params.rows, 0) {}
+
+Status TcamArray::WriteRow(std::size_t row, std::span<const Ternary> word) {
+  if (row >= params_.rows) return OutOfRange("row index");
+  if (word.size() != params_.width_bits) {
+    return InvalidArgument("word width mismatch");
+  }
+  for (std::size_t b = 0; b < word.size(); ++b) {
+    cells_[row * params_.width_bits + b] = word[b];
+  }
+  valid_[row] = 1;
+  cost_.latency_ns += params_.write_latency.ns;
+  cost_.energy_pj +=
+      params_.write_energy_per_cell.pj * static_cast<double>(word.size());
+  ++cost_.operations;
+  return Status::Ok();
+}
+
+Status TcamArray::WriteRowBits(std::size_t row, std::uint64_t key,
+                               std::uint64_t care_mask) {
+  if (params_.width_bits > 64) {
+    return InvalidArgument("WriteRowBits requires width <= 64");
+  }
+  std::vector<Ternary> word(params_.width_bits);
+  for (std::size_t b = 0; b < params_.width_bits; ++b) {
+    if (((care_mask >> b) & 1) == 0) {
+      word[b] = Ternary::kDontCare;
+    } else {
+      word[b] = ((key >> b) & 1) ? Ternary::kOne : Ternary::kZero;
+    }
+  }
+  return WriteRow(row, word);
+}
+
+Status TcamArray::ClearRow(std::size_t row) {
+  if (row >= params_.rows) return OutOfRange("row index");
+  valid_[row] = 0;
+  cost_.latency_ns += params_.write_latency.ns;
+  ++cost_.operations;
+  return Status::Ok();
+}
+
+SearchResult TcamArray::Search(std::span<const Ternary> key) {
+  SearchResult result;
+  if (key.size() != params_.width_bits) return result;
+  // One parallel cycle: every valid cell evaluates against the key.
+  result.cost.latency_ns = params_.search_latency.ns;
+  result.cost.energy_pj = params_.search_energy_per_cell.pj *
+                          static_cast<double>(params_.rows) *
+                          static_cast<double>(params_.width_bits);
+  result.cost.operations = params_.rows;
+  for (std::size_t r = 0; r < params_.rows; ++r) {
+    if (!valid_[r]) continue;
+    bool match = true;
+    for (std::size_t b = 0; b < params_.width_bits && match; ++b) {
+      const Ternary cell = cells_[r * params_.width_bits + b];
+      const Ternary probe = key[b];
+      if (cell == Ternary::kDontCare || probe == Ternary::kDontCare) continue;
+      if (cell != probe) match = false;
+    }
+    if (match) result.matches.push_back(r);
+  }
+  cost_ += result.cost;
+  return result;
+}
+
+SearchResult TcamArray::SearchBits(std::uint64_t key) {
+  std::vector<Ternary> word(params_.width_bits);
+  for (std::size_t b = 0; b < params_.width_bits; ++b) {
+    word[b] = ((key >> b) & 1) ? Ternary::kOne : Ternary::kZero;
+  }
+  return Search(word);
+}
+
+Status TcamArray::WriteToMatches(const SearchResult& matches,
+                                 std::size_t bit_offset, std::uint64_t value,
+                                 int value_bits) {
+  if (value_bits < 1 || value_bits > 64) {
+    return InvalidArgument("value_bits must be in [1, 64]");
+  }
+  if (bit_offset + static_cast<std::size_t>(value_bits) >
+      params_.width_bits) {
+    return OutOfRange("value field outside row width");
+  }
+  // One row-parallel conditional-write cycle.
+  cost_.latency_ns += params_.write_latency.ns;
+  cost_.energy_pj += params_.write_energy_per_cell.pj *
+                     static_cast<double>(matches.matches.size()) *
+                     static_cast<double>(value_bits);
+  ++cost_.operations;
+  for (std::size_t row : matches.matches) {
+    if (row >= params_.rows || !valid_[row]) continue;
+    for (int b = 0; b < value_bits; ++b) {
+      cells_[row * params_.width_bits + bit_offset + b] =
+          ((value >> b) & 1) ? Ternary::kOne : Ternary::kZero;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cim::logic

@@ -1,0 +1,89 @@
+// Associative processing: content-addressable memory (§III.A cites TCAM
+// and associative processors as one of the four CIM hardware families).
+//
+// A resistive TCAM array compares a search key against every stored row in
+// a single cycle — the row-parallel "compute where the data is" primitive.
+// Each row is a word of ternary cells (0 / 1 / don't-care). The model
+// includes per-search energy that scales with array size (every cell
+// participates in a match) and an optional associative-processor mode:
+// bulk conditional writes to all matching rows (the Yavits-style AP the
+// paper cites).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace cim::logic {
+
+enum class Ternary : std::uint8_t { kZero = 0, kOne = 1, kDontCare = 2 };
+
+struct TcamParams {
+  std::size_t rows = 256;
+  std::size_t width_bits = 64;
+  // One search = one match-line pre-charge + evaluate across all cells.
+  TimeNs search_latency{5.0};
+  EnergyPj search_energy_per_cell{0.02};
+  // Writing one row (ternary memristor pair per cell).
+  TimeNs write_latency{200.0};
+  EnergyPj write_energy_per_cell{50.0};
+
+  [[nodiscard]] Status Validate() const {
+    if (rows == 0 || width_bits == 0) {
+      return InvalidArgument("rows and width_bits must be non-zero");
+    }
+    if (width_bits > 1024) {
+      return InvalidArgument("width_bits above 1024 not modelled");
+    }
+    return Status::Ok();
+  }
+};
+
+struct SearchResult {
+  std::vector<std::size_t> matches;  // row indices, ascending
+  CostReport cost;
+};
+
+class TcamArray {
+ public:
+  [[nodiscard]] static Expected<TcamArray> Create(const TcamParams& params);
+
+  [[nodiscard]] std::size_t rows() const { return params_.rows; }
+  [[nodiscard]] std::size_t width() const { return params_.width_bits; }
+
+  // Store a ternary word in `row`. Word length must equal width.
+  Status WriteRow(std::size_t row, std::span<const Ternary> word);
+  // Convenience: store a binary key with a care-mask (1 = compare).
+  Status WriteRowBits(std::size_t row, std::uint64_t key,
+                      std::uint64_t care_mask);
+  // Invalidate a row (it matches nothing).
+  Status ClearRow(std::size_t row);
+
+  // One-cycle parallel search: returns every valid row whose non-don't-care
+  // cells equal the key bits.
+  [[nodiscard]] SearchResult Search(std::span<const Ternary> key);
+  [[nodiscard]] SearchResult SearchBits(std::uint64_t key);
+
+  // Associative-processor write: one extra cycle writes `value` into field
+  // [bit_offset, bit_offset+value_bits) of every row matched by the last
+  // search mask — the parallel conditional update the AP papers build on.
+  Status WriteToMatches(const SearchResult& matches, std::size_t bit_offset,
+                        std::uint64_t value, int value_bits);
+
+  [[nodiscard]] const CostReport& lifetime_cost() const { return cost_; }
+
+ private:
+  explicit TcamArray(const TcamParams& params);
+
+  TcamParams params_;
+  std::vector<Ternary> cells_;       // rows x width
+  std::vector<std::uint8_t> valid_;  // per row
+  CostReport cost_;
+};
+
+}  // namespace cim::logic

@@ -1,0 +1,76 @@
+#include "logic/stateful_logic.h"
+
+#include <span>
+
+namespace cim::logic {
+
+Expected<BulkBitwiseEngine> BulkBitwiseEngine::Create(const Params& params) {
+  if (Status s = params.Validate(); !s.ok()) return s;
+  return BulkBitwiseEngine(params);
+}
+
+BulkBitwiseEngine::BulkBitwiseEngine(const Params& params)
+    : params_(params),
+      storage_(params.rows * (params.bits_per_row / 64), 0) {}
+
+Status BulkBitwiseEngine::WriteRow(std::size_t row,
+                                   std::span<const std::uint64_t> words) {
+  if (row >= params_.rows) return OutOfRange("row index");
+  if (words.size() != words_per_row()) {
+    return InvalidArgument("row width mismatch");
+  }
+  const std::size_t base = row * words_per_row();
+  for (std::size_t i = 0; i < words.size(); ++i) storage_[base + i] = words[i];
+  cost_.latency_ns += params_.row_op_latency.ns;
+  cost_.energy_pj += params_.row_op_energy.pj;
+  ++cost_.operations;
+  return Status::Ok();
+}
+
+Expected<std::vector<std::uint64_t>> BulkBitwiseEngine::ReadRow(
+    std::size_t row) const {
+  if (row >= params_.rows) return OutOfRange("row index");
+  const std::size_t base = row * words_per_row();
+  return std::vector<std::uint64_t>(storage_.begin() + base,
+                                    storage_.begin() + base + words_per_row());
+}
+
+template <typename Fn>
+Status BulkBitwiseEngine::RowOp(std::size_t a, std::size_t b, std::size_t dst,
+                                Fn&& fn) {
+  if (a >= params_.rows || b >= params_.rows || dst >= params_.rows) {
+    return OutOfRange("row index");
+  }
+  const std::size_t wa = a * words_per_row();
+  const std::size_t wb = b * words_per_row();
+  const std::size_t wd = dst * words_per_row();
+  for (std::size_t i = 0; i < words_per_row(); ++i) {
+    storage_[wd + i] = fn(storage_[wa + i], storage_[wb + i]);
+  }
+  cost_.latency_ns += params_.row_op_latency.ns;
+  cost_.energy_pj += params_.row_op_energy.pj;
+  ++cost_.operations;
+  return Status::Ok();
+}
+
+Status BulkBitwiseEngine::And(std::size_t a, std::size_t b, std::size_t dst) {
+  return RowOp(a, b, dst,
+               [](std::uint64_t x, std::uint64_t y) { return x & y; });
+}
+
+Status BulkBitwiseEngine::Or(std::size_t a, std::size_t b, std::size_t dst) {
+  return RowOp(a, b, dst,
+               [](std::uint64_t x, std::uint64_t y) { return x | y; });
+}
+
+Status BulkBitwiseEngine::Xor(std::size_t a, std::size_t b, std::size_t dst) {
+  return RowOp(a, b, dst,
+               [](std::uint64_t x, std::uint64_t y) { return x ^ y; });
+}
+
+Status BulkBitwiseEngine::Not(std::size_t a, std::size_t dst) {
+  return RowOp(a, a, dst,
+               [](std::uint64_t x, std::uint64_t) { return ~x; });
+}
+
+}  // namespace cim::logic

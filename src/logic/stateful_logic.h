@@ -1,0 +1,201 @@
+// Stateful in-memory logic engines (§III.A).
+//
+// The paper cites two primitive families upon which CIM logic cores build:
+//   * Borghetti et al.: NOT + IMP (material implication) executed directly
+//     in memristor state — ImplyEngine,
+//   * MAGIC-style NOR as the universal primitive — MagicNorEngine.
+// Both operate on a register file of single-bit memristor latches. Each
+// primitive is one conditional-write cycle on the array; the engines count
+// cycles and energy so synthesized circuits (logic/arith.h) can compare the
+// families' cost, exactly the design-space the paper sketches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace cim::logic {
+
+struct LogicParams {
+  std::size_t register_count = 64;
+  // One primitive = one program pulse on a memristor row.
+  TimeNs cycle_latency{100.0};
+  EnergyPj cycle_energy{50.0};
+
+  [[nodiscard]] Status Validate() const {
+    if (register_count == 0) return InvalidArgument("need >= 1 register");
+    return Status::Ok();
+  }
+};
+
+// Common state + accounting shared by both primitive families.
+class LogicEngineBase {
+ public:
+  explicit LogicEngineBase(const LogicParams& params)
+      : params_(params), bits_(params.register_count, false) {}
+
+  [[nodiscard]] std::size_t register_count() const { return bits_.size(); }
+  [[nodiscard]] const LogicParams& params() const { return params_; }
+
+  [[nodiscard]] Expected<bool> ReadBit(std::size_t idx) const {
+    if (idx >= bits_.size()) return OutOfRange("register index");
+    return static_cast<bool>(bits_[idx]);
+  }
+  Status WriteBit(std::size_t idx, bool value) {
+    if (idx >= bits_.size()) return OutOfRange("register index");
+    bits_[idx] = value;
+    Account();
+    return Status::Ok();
+  }
+
+  [[nodiscard]] const CostReport& cost() const { return cost_; }
+  void ResetCost() { cost_ = CostReport{}; }
+
+ protected:
+  void Account() {
+    cost_.latency_ns += params_.cycle_latency.ns;
+    cost_.energy_pj += params_.cycle_energy.pj;
+    ++cost_.operations;
+  }
+  [[nodiscard]] bool bit(std::size_t idx) const { return bits_[idx]; }
+  void set_bit(std::size_t idx, bool v) { bits_[idx] = v; }
+  [[nodiscard]] bool InRange(std::size_t idx) const {
+    return idx < bits_.size();
+  }
+
+ private:
+  LogicParams params_;
+  std::vector<std::uint8_t> bits_;
+  CostReport cost_;
+};
+
+// Borghetti et al. material-implication engine. Primitives:
+//   False(q):    q <- 0                  (RESET pulse)
+//   Imply(p, q): q <- (NOT p) OR q       (conditional SET)
+// NOT/NAND and all other gates derive from these two.
+class ImplyEngine : public LogicEngineBase {
+ public:
+  using LogicEngineBase::LogicEngineBase;
+
+  Status False(std::size_t q) {
+    if (!InRange(q)) return OutOfRange("False register");
+    set_bit(q, false);
+    Account();
+    return Status::Ok();
+  }
+
+  Status Imply(std::size_t p, std::size_t q) {
+    if (!InRange(p) || !InRange(q)) return OutOfRange("Imply register");
+    set_bit(q, !bit(p) || bit(q));
+    Account();
+    return Status::Ok();
+  }
+
+  // dst <- NOT src (2 cycles: False + Imply).
+  Status Not(std::size_t src, std::size_t dst) {
+    if (Status s = False(dst); !s.ok()) return s;
+    return Imply(src, dst);
+  }
+
+  // dst <- NAND(a, b) (3 cycles): dst=0; dst<-a IMP dst (=!a);
+  // dst<-b IMP dst (=!b OR !a).
+  Status Nand(std::size_t a, std::size_t b, std::size_t dst) {
+    if (Status s = False(dst); !s.ok()) return s;
+    if (Status s = Imply(a, dst); !s.ok()) return s;
+    return Imply(b, dst);
+  }
+};
+
+// MAGIC-style NOR engine. Primitives:
+//   Init(q):      q <- 1 (output latch pre-set)
+//   Nor(a, b, q): q <- NOT(a OR b), requires q pre-set to 1
+class MagicNorEngine : public LogicEngineBase {
+ public:
+  using LogicEngineBase::LogicEngineBase;
+
+  Status Init(std::size_t q) {
+    if (!InRange(q)) return OutOfRange("Init register");
+    set_bit(q, true);
+    Account();
+    return Status::Ok();
+  }
+
+  Status Nor(std::size_t a, std::size_t b, std::size_t dst) {
+    if (!InRange(a) || !InRange(b) || !InRange(dst)) {
+      return OutOfRange("Nor register");
+    }
+    if (!bit(dst)) {
+      return FailedPrecondition("MAGIC NOR output latch must be pre-set");
+    }
+    set_bit(dst, !(bit(a) || bit(b)));
+    Account();
+    return Status::Ok();
+  }
+
+  // dst <- NOT a (Init + Nor(a, a)).
+  Status Not(std::size_t a, std::size_t dst) {
+    if (Status s = Init(dst); !s.ok()) return s;
+    return Nor(a, a, dst);
+  }
+};
+
+// Chen et al.-style digital CIM macro exposing AND/OR/XOR directly between
+// whole machine words stored in memory rows (also covers the Ambit-style
+// bulk-bitwise DRAM operations the paper cites). One row-wide operation
+// costs one cycle regardless of word width — the bulk parallelism is the
+// point.
+class BulkBitwiseEngine {
+ public:
+  struct Params {
+    std::size_t rows = 64;
+    std::size_t bits_per_row = 256;
+    TimeNs row_op_latency{150.0};  // triple-row-activate class timing
+    EnergyPj row_op_energy{300.0};
+
+    [[nodiscard]] Status Validate() const {
+      if (rows == 0 || bits_per_row == 0) {
+        return InvalidArgument("rows and bits_per_row must be non-zero");
+      }
+      if (bits_per_row % 64 != 0) {
+        return InvalidArgument("bits_per_row must be a multiple of 64");
+      }
+      return Status::Ok();
+    }
+  };
+
+  [[nodiscard]] static Expected<BulkBitwiseEngine> Create(
+      const Params& params);
+
+  [[nodiscard]] std::size_t rows() const { return params_.rows; }
+  [[nodiscard]] std::size_t words_per_row() const {
+    return params_.bits_per_row / 64;
+  }
+
+  Status WriteRow(std::size_t row, std::span<const std::uint64_t> words);
+  [[nodiscard]] Expected<std::vector<std::uint64_t>> ReadRow(
+      std::size_t row) const;
+
+  // dst <- a OP b, whole row at once, one cycle.
+  Status And(std::size_t a, std::size_t b, std::size_t dst);
+  Status Or(std::size_t a, std::size_t b, std::size_t dst);
+  Status Xor(std::size_t a, std::size_t b, std::size_t dst);
+  Status Not(std::size_t a, std::size_t dst);
+
+  [[nodiscard]] const CostReport& cost() const { return cost_; }
+  void ResetCost() { cost_ = CostReport{}; }
+
+ private:
+  explicit BulkBitwiseEngine(const Params& params);
+  template <typename Fn>
+  Status RowOp(std::size_t a, std::size_t b, std::size_t dst, Fn&& fn);
+
+  Params params_;
+  std::vector<std::uint64_t> storage_;  // rows * words_per_row
+  CostReport cost_;
+};
+
+}  // namespace cim::logic

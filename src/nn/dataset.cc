@@ -1,0 +1,57 @@
+#include "nn/dataset.h"
+
+#include <algorithm>
+
+namespace cim::nn {
+
+Expected<Dataset> MakeClusterDataset(const DatasetParams& p, Rng& rng) {
+  if (Status s = p.Validate(); !s.ok()) return s;
+  Dataset data;
+  data.dim = p.dim;
+  data.classes = p.classes;
+
+  std::vector<std::vector<double>> centers(p.classes,
+                                           std::vector<double>(p.dim));
+  for (auto& center : centers) {
+    for (double& v : center) v = rng.Uniform(0.15, 0.85);
+  }
+  for (std::size_t cls = 0; cls < p.classes; ++cls) {
+    for (std::size_t i = 0; i < p.samples_per_class; ++i) {
+      std::vector<double> sample(p.dim);
+      for (std::size_t d = 0; d < p.dim; ++d) {
+        sample[d] = std::clamp(
+            centers[cls][d] + rng.Gaussian(0.0, p.cluster_spread), 0.0, 1.0);
+      }
+      data.samples.push_back(std::move(sample));
+      data.labels.push_back(cls);
+    }
+  }
+  return data;
+}
+
+std::vector<std::vector<double>> OneHotTargets(const Dataset& data) {
+  std::vector<std::vector<double>> targets;
+  targets.reserve(data.size());
+  for (std::size_t label : data.labels) {
+    std::vector<double> t(data.classes, 0.0);
+    t[label] = 1.0;
+    targets.push_back(std::move(t));
+  }
+  return targets;
+}
+
+double Accuracy(const std::vector<std::vector<double>>& scores,
+                const std::vector<std::size_t>& labels) {
+  if (scores.empty() || scores.size() != labels.size()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < scores[i].size(); ++c) {
+      if (scores[i][c] > scores[i][best]) best = c;
+    }
+    if (best == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+}  // namespace cim::nn

@@ -1,0 +1,58 @@
+// Synthetic classification data for accuracy experiments.
+//
+// Gaussian clusters in [0,1]^dim, one per class — the substitution for the
+// image datasets the DPE lineage evaluates on: accuracy experiments here
+// measure the *degradation* caused by quantization, read noise and drift,
+// which only needs a separable task, not real images.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace cim::nn {
+
+struct Dataset {
+  std::size_t dim = 0;
+  std::size_t classes = 0;
+  std::vector<std::vector<double>> samples;
+  std::vector<std::size_t> labels;
+
+  [[nodiscard]] std::size_t size() const { return samples.size(); }
+};
+
+struct DatasetParams {
+  std::size_t dim = 16;
+  std::size_t classes = 4;
+  std::size_t samples_per_class = 32;
+  double cluster_spread = 0.08;  // sigma around each class center
+
+  [[nodiscard]] Status Validate() const {
+    if (dim == 0 || classes < 2 || samples_per_class == 0) {
+      return InvalidArgument("bad dataset shape");
+    }
+    if (cluster_spread <= 0.0) {
+      return InvalidArgument("cluster_spread must be positive");
+    }
+    return Status::Ok();
+  }
+};
+
+// Generate the dataset; the class centers are themselves random in
+// [0.15, 0.85]^dim so features stay in the crossbar's input range after
+// noise.
+[[nodiscard]] Expected<Dataset> MakeClusterDataset(const DatasetParams& p,
+                                                   Rng& rng);
+
+// One-hot targets for training.
+[[nodiscard]] std::vector<std::vector<double>> OneHotTargets(
+    const Dataset& data);
+
+// Classification accuracy of arbitrary per-sample scores against labels.
+[[nodiscard]] double Accuracy(
+    const std::vector<std::vector<double>>& scores,
+    const std::vector<std::size_t>& labels);
+
+}  // namespace cim::nn

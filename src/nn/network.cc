@@ -1,0 +1,334 @@
+#include "nn/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cim::nn {
+namespace {
+
+double Activate(double v, Activation act) {
+  switch (act) {
+    case Activation::kNone: return v;
+    case Activation::kRelu: return std::max(v, 0.0);
+    case Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-v));
+  }
+  return v;
+}
+
+// Output spatial size of a conv/pool stage.
+std::size_t OutDim(std::size_t in, std::size_t kernel, std::size_t stride,
+                   std::size_t padding) {
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+struct ShapeVisitor {
+  // Returns the output shape for the given input shape, or empty on error.
+  std::vector<std::size_t> operator()(const DenseLayer& l) const {
+    if (in.size() != 1 || in[0] != l.in_features) return {};
+    return {l.out_features};
+  }
+  std::vector<std::size_t> operator()(const Conv2dLayer& l) const {
+    if (in.size() != 3 || in[0] != l.in_channels) return {};
+    if (in[1] + 2 * l.padding < l.kernel || in[2] + 2 * l.padding < l.kernel) {
+      return {};
+    }
+    return {l.out_channels, OutDim(in[1], l.kernel, l.stride, l.padding),
+            OutDim(in[2], l.kernel, l.stride, l.padding)};
+  }
+  std::vector<std::size_t> operator()(const MaxPoolLayer& l) const {
+    if (in.size() != 3 || in[1] < l.window || in[2] < l.window) return {};
+    return {in[0], OutDim(in[1], l.window, l.stride, 0),
+            OutDim(in[2], l.window, l.stride, 0)};
+  }
+  std::vector<std::size_t> in;
+};
+
+}  // namespace
+
+Status Network::Validate() const {
+  if (input_shape.empty()) return InvalidArgument("missing input shape");
+  std::vector<std::size_t> shape = input_shape;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    // A dense layer after a conv stack implicitly flattens.
+    if (std::holds_alternative<DenseLayer>(layers[i]) && shape.size() == 3) {
+      shape = {shape[0] * shape[1] * shape[2]};
+    }
+    std::vector<std::size_t> next =
+        std::visit(ShapeVisitor{shape}, layers[i]);
+    if (next.empty()) {
+      return InvalidArgument("layer " + std::to_string(i) +
+                             " incompatible with input shape");
+    }
+    // Check weight array sizes.
+    if (const auto* dense = std::get_if<DenseLayer>(&layers[i])) {
+      if (dense->weights.size() != dense->in_features * dense->out_features ||
+          dense->bias.size() != dense->out_features) {
+        return InvalidArgument("dense layer " + std::to_string(i) +
+                               " weight/bias size mismatch");
+      }
+    }
+    if (const auto* conv = std::get_if<Conv2dLayer>(&layers[i])) {
+      if (conv->weights.size() != conv->out_channels * conv->in_channels *
+                                      conv->kernel * conv->kernel ||
+          conv->bias.size() != conv->out_channels) {
+        return InvalidArgument("conv layer " + std::to_string(i) +
+                               " weight/bias size mismatch");
+      }
+    }
+    shape = std::move(next);
+  }
+  return Status::Ok();
+}
+
+std::uint64_t Network::TotalMacs() const {
+  std::uint64_t macs = 0;
+  std::vector<std::size_t> shape = input_shape;
+  for (const Layer& layer : layers) {
+    if (std::holds_alternative<DenseLayer>(layer) && shape.size() == 3) {
+      shape = {shape[0] * shape[1] * shape[2]};
+    }
+    if (const auto* dense = std::get_if<DenseLayer>(&layer)) {
+      macs += static_cast<std::uint64_t>(dense->in_features) *
+              dense->out_features;
+      shape = {dense->out_features};
+    } else if (const auto* conv = std::get_if<Conv2dLayer>(&layer)) {
+      const std::size_t oh = OutDim(shape[1], conv->kernel, conv->stride,
+                                    conv->padding);
+      const std::size_t ow = OutDim(shape[2], conv->kernel, conv->stride,
+                                    conv->padding);
+      macs += static_cast<std::uint64_t>(oh) * ow * conv->out_channels *
+              conv->in_channels * conv->kernel * conv->kernel;
+      shape = {conv->out_channels, oh, ow};
+    } else if (const auto* pool = std::get_if<MaxPoolLayer>(&layer)) {
+      shape = {shape[0], OutDim(shape[1], pool->window, pool->stride, 0),
+               OutDim(shape[2], pool->window, pool->stride, 0)};
+    }
+  }
+  return macs;
+}
+
+std::uint64_t Network::TotalWeights() const {
+  std::uint64_t weights = 0;
+  for (const Layer& layer : layers) {
+    if (const auto* dense = std::get_if<DenseLayer>(&layer)) {
+      weights += dense->weights.size() + dense->bias.size();
+    } else if (const auto* conv = std::get_if<Conv2dLayer>(&layer)) {
+      weights += conv->weights.size() + conv->bias.size();
+    }
+  }
+  return weights;
+}
+
+Expected<Tensor> Forward(const Network& net, const Tensor& input) {
+  if (Status s = net.Validate(); !s.ok()) return s;
+  if (input.shape() != net.input_shape) {
+    return InvalidArgument("input shape mismatch");
+  }
+  Tensor current = input;
+  for (const Layer& layer : net.layers) {
+    if (std::holds_alternative<DenseLayer>(layer) && current.rank() == 3) {
+      current = Tensor({current.size()}, current.vec());
+    }
+    if (const auto* dense = std::get_if<DenseLayer>(&layer)) {
+      Tensor out({dense->out_features});
+      for (std::size_t o = 0; o < dense->out_features; ++o) {
+        double sum = dense->bias[o];
+        for (std::size_t i = 0; i < dense->in_features; ++i) {
+          sum += current[i] * dense->weights[i * dense->out_features + o];
+        }
+        out[o] = Activate(sum, dense->activation);
+      }
+      current = std::move(out);
+    } else if (const auto* conv = std::get_if<Conv2dLayer>(&layer)) {
+      const std::size_t ih = current.shape()[1];
+      const std::size_t iw = current.shape()[2];
+      const std::size_t oh = OutDim(ih, conv->kernel, conv->stride,
+                                    conv->padding);
+      const std::size_t ow = OutDim(iw, conv->kernel, conv->stride,
+                                    conv->padding);
+      Tensor out({conv->out_channels, oh, ow});
+      const std::size_t k = conv->kernel;
+      for (std::size_t oc = 0; oc < conv->out_channels; ++oc) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            double sum = conv->bias[oc];
+            for (std::size_t ic = 0; ic < conv->in_channels; ++ic) {
+              for (std::size_t ky = 0; ky < k; ++ky) {
+                for (std::size_t kx = 0; kx < k; ++kx) {
+                  const std::int64_t iy =
+                      static_cast<std::int64_t>(oy * conv->stride + ky) -
+                      static_cast<std::int64_t>(conv->padding);
+                  const std::int64_t ix =
+                      static_cast<std::int64_t>(ox * conv->stride + kx) -
+                      static_cast<std::int64_t>(conv->padding);
+                  if (iy < 0 || ix < 0 ||
+                      iy >= static_cast<std::int64_t>(ih) ||
+                      ix >= static_cast<std::int64_t>(iw)) {
+                    continue;
+                  }
+                  const double w =
+                      conv->weights[((oc * conv->in_channels + ic) * k + ky) *
+                                        k +
+                                    kx];
+                  sum += w * current.at3(ic, static_cast<std::size_t>(iy),
+                                         static_cast<std::size_t>(ix));
+                }
+              }
+            }
+            out.at3(oc, oy, ox) = Activate(sum, conv->activation);
+          }
+        }
+      }
+      current = std::move(out);
+    } else if (const auto* pool = std::get_if<MaxPoolLayer>(&layer)) {
+      const std::size_t channels = current.shape()[0];
+      const std::size_t ih = current.shape()[1];
+      const std::size_t iw = current.shape()[2];
+      const std::size_t oh = OutDim(ih, pool->window, pool->stride, 0);
+      const std::size_t ow = OutDim(iw, pool->window, pool->stride, 0);
+      Tensor out({channels, oh, ow});
+      for (std::size_t c = 0; c < channels; ++c) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            double best = -1e300;
+            for (std::size_t ky = 0; ky < pool->window; ++ky) {
+              for (std::size_t kx = 0; kx < pool->window; ++kx) {
+                best = std::max(best, current.at3(c, oy * pool->stride + ky,
+                                                  ox * pool->stride + kx));
+              }
+            }
+            out.at3(c, oy, ox) = best;
+          }
+        }
+      }
+      current = std::move(out);
+    }
+  }
+  return current;
+}
+
+Expected<std::vector<LayerProfile>> ProfileNetwork(const Network& net) {
+  if (Status s = net.Validate(); !s.ok()) return s;
+  std::vector<LayerProfile> profiles;
+  std::vector<std::size_t> shape = net.input_shape;
+  const auto elems = [](const std::vector<std::size_t>& s) {
+    std::size_t n = 1;
+    for (std::size_t d : s) n *= d;
+    return static_cast<std::uint64_t>(n);
+  };
+  for (const Layer& layer : net.layers) {
+    if (std::holds_alternative<DenseLayer>(layer) && shape.size() == 3) {
+      shape = {shape[0] * shape[1] * shape[2]};
+    }
+    LayerProfile p;
+    p.in_elements = elems(shape);
+    if (const auto* dense = std::get_if<DenseLayer>(&layer)) {
+      p.kind = "dense";
+      p.macs = static_cast<std::uint64_t>(dense->in_features) *
+               dense->out_features;
+      p.weight_count = dense->weights.size() + dense->bias.size();
+      shape = {dense->out_features};
+    } else if (const auto* conv = std::get_if<Conv2dLayer>(&layer)) {
+      const std::size_t oh =
+          OutDim(shape[1], conv->kernel, conv->stride, conv->padding);
+      const std::size_t ow =
+          OutDim(shape[2], conv->kernel, conv->stride, conv->padding);
+      p.kind = "conv";
+      p.macs = static_cast<std::uint64_t>(oh) * ow * conv->out_channels *
+               conv->in_channels * conv->kernel * conv->kernel;
+      p.weight_count = conv->weights.size() + conv->bias.size();
+      shape = {conv->out_channels, oh, ow};
+    } else if (const auto* pool = std::get_if<MaxPoolLayer>(&layer)) {
+      p.kind = "pool";
+      shape = {shape[0], OutDim(shape[1], pool->window, pool->stride, 0),
+               OutDim(shape[2], pool->window, pool->stride, 0)};
+    }
+    p.out_elements = elems(shape);
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+Network BuildMlp(const std::string& name,
+                 const std::vector<std::size_t>& widths, Rng& rng,
+                 double scale) {
+  Network net;
+  net.name = name;
+  net.input_shape = {widths.front()};
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    DenseLayer layer;
+    layer.in_features = widths[i];
+    layer.out_features = widths[i + 1];
+    layer.weights.resize(layer.in_features * layer.out_features);
+    layer.bias.resize(layer.out_features);
+    for (auto& w : layer.weights) w = rng.Uniform(-scale, scale);
+    for (auto& b : layer.bias) b = rng.Uniform(-scale / 10, scale / 10);
+    layer.activation = (i + 2 == widths.size()) ? Activation::kNone
+                                                : Activation::kRelu;
+    net.layers.emplace_back(std::move(layer));
+  }
+  return net;
+}
+
+Network BuildCnn(const std::string& name, std::size_t channels,
+                 std::size_t height, std::size_t width, std::size_t classes,
+                 Rng& rng) {
+  Network net;
+  net.name = name;
+  net.input_shape = {channels, height, width};
+
+  const auto make_conv = [&rng](std::size_t in_c, std::size_t out_c,
+                                std::size_t k) {
+    Conv2dLayer conv;
+    conv.in_channels = in_c;
+    conv.out_channels = out_c;
+    conv.kernel = k;
+    conv.padding = k / 2;
+    conv.weights.resize(out_c * in_c * k * k);
+    conv.bias.resize(out_c);
+    const double scale =
+        std::sqrt(2.0 / (static_cast<double>(in_c) * k * k));
+    for (auto& w : conv.weights) w = rng.Gaussian(0.0, scale);
+    for (auto& b : conv.bias) b = 0.0;
+    return conv;
+  };
+
+  net.layers.emplace_back(make_conv(channels, 8, 3));
+  net.layers.emplace_back(MaxPoolLayer{});
+  net.layers.emplace_back(make_conv(8, 16, 3));
+  net.layers.emplace_back(MaxPoolLayer{});
+
+  const std::size_t flat = 16 * (height / 4) * (width / 4);
+  DenseLayer fc1;
+  fc1.in_features = flat;
+  fc1.out_features = 64;
+  fc1.weights.resize(flat * 64);
+  fc1.bias.resize(64);
+  for (auto& w : fc1.weights) w = rng.Uniform(-0.1, 0.1);
+  for (auto& b : fc1.bias) b = 0.0;
+  net.layers.emplace_back(std::move(fc1));
+
+  DenseLayer fc2;
+  fc2.in_features = 64;
+  fc2.out_features = classes;
+  fc2.weights.resize(64 * classes);
+  fc2.bias.resize(classes);
+  for (auto& w : fc2.weights) w = rng.Uniform(-0.1, 0.1);
+  for (auto& b : fc2.bias) b = 0.0;
+  fc2.activation = Activation::kNone;
+  net.layers.emplace_back(std::move(fc2));
+  return net;
+}
+
+std::vector<Network> BuildBenchmarkSuite(Rng& rng) {
+  std::vector<Network> suite;
+  suite.push_back(BuildMlp("mlp-tiny", {16, 32, 10}, rng));
+  suite.push_back(BuildMlp("mlp-small", {64, 128, 64, 10}, rng));
+  suite.push_back(BuildMlp("mlp-mnist", {784, 256, 128, 10}, rng));
+  suite.push_back(BuildMlp("mlp-wide", {1024, 2048, 1024, 100}, rng));
+  suite.push_back(BuildCnn("cnn-small", 1, 28, 28, 10, rng));
+  suite.push_back(BuildCnn("cnn-cifar", 3, 32, 32, 10, rng));
+  return suite;
+}
+
+}  // namespace cim::nn

@@ -1,0 +1,97 @@
+// Neural-network description and float reference inference (golden model).
+//
+// Networks are the §VI workload: the DPE maps these layer descriptions onto
+// crossbar tiles, the baselines execute them on roofline CPU/GPU models, and
+// this module's float forward pass is the accuracy reference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "nn/tensor.h"
+
+namespace cim::nn {
+
+enum class Activation : std::uint8_t { kNone = 0, kRelu, kSigmoid };
+
+// Fully connected: y = W^T x + b. Weights stored row-major [in x out].
+struct DenseLayer {
+  std::size_t in_features = 0;
+  std::size_t out_features = 0;
+  std::vector<double> weights;
+  std::vector<double> bias;
+  Activation activation = Activation::kRelu;
+};
+
+// 2-D convolution over CHW tensors, square kernel, valid-or-same padding.
+struct Conv2dLayer {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 0;
+  // Weights [out_c][in_c][k][k] flattened; bias [out_c].
+  std::vector<double> weights;
+  std::vector<double> bias;
+  Activation activation = Activation::kRelu;
+};
+
+// Max pooling over CHW tensors.
+struct MaxPoolLayer {
+  std::size_t window = 2;
+  std::size_t stride = 2;
+};
+
+using Layer = std::variant<DenseLayer, Conv2dLayer, MaxPoolLayer>;
+
+struct Network {
+  std::string name;
+  // Input shape: {features} for MLPs, {C, H, W} for CNNs.
+  std::vector<std::size_t> input_shape;
+  std::vector<Layer> layers;
+
+  [[nodiscard]] Status Validate() const;
+
+  // Total multiply-accumulate count for one inference (used by the
+  // analytical models and baselines).
+  [[nodiscard]] std::uint64_t TotalMacs() const;
+  // Total weight parameters.
+  [[nodiscard]] std::uint64_t TotalWeights() const;
+};
+
+// Float reference forward pass.
+[[nodiscard]] Expected<Tensor> Forward(const Network& net,
+                                       const Tensor& input);
+
+// Per-layer operation/traffic profile used by the analytical cost models.
+struct LayerProfile {
+  std::string kind;            // "dense" / "conv" / "pool"
+  std::uint64_t macs = 0;
+  std::uint64_t weight_count = 0;
+  std::uint64_t in_elements = 0;
+  std::uint64_t out_elements = 0;
+};
+[[nodiscard]] Expected<std::vector<LayerProfile>> ProfileNetwork(
+    const Network& net);
+
+// --- builders -------------------------------------------------------------
+
+// MLP with the given layer widths (first entry = input features), random
+// weights in [-scale, scale], ReLU hidden activations, no final activation.
+[[nodiscard]] Network BuildMlp(const std::string& name,
+                               const std::vector<std::size_t>& widths,
+                               Rng& rng, double scale = 0.5);
+
+// Small LeNet-style CNN for CHW inputs.
+[[nodiscard]] Network BuildCnn(const std::string& name, std::size_t channels,
+                               std::size_t height, std::size_t width,
+                               std::size_t classes, Rng& rng);
+
+// The §VI sweep: a family of networks from tiny to large.
+[[nodiscard]] std::vector<Network> BuildBenchmarkSuite(Rng& rng);
+
+}  // namespace cim::nn

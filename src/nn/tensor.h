@@ -1,0 +1,59 @@
+// Minimal dense tensor used by the neural-network golden model and the DPE
+// mapper. Row-major storage, rank <= 4 (N/C/H/W style layouts are the
+// caller's convention).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cim::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape)
+      : shape_(std::move(shape)),
+        data_(std::accumulate(shape_.begin(), shape_.end(),
+                              std::size_t{1}, std::multiplies<>()),
+              0.0) {}
+  Tensor(std::vector<std::size_t> shape, std::vector<double> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {}
+
+  [[nodiscard]] const std::vector<std::size_t>& shape() const {
+    return shape_;
+  }
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool valid() const {
+    const std::size_t expected =
+        std::accumulate(shape_.begin(), shape_.end(), std::size_t{1},
+                        std::multiplies<>());
+    return expected == data_.size();
+  }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] std::vector<double>& vec() { return data_; }
+  [[nodiscard]] const std::vector<double>& vec() const { return data_; }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  // 3-D accessor for (channel, row, col) layouts.
+  [[nodiscard]] double& at3(std::size_t c, std::size_t h, std::size_t w) {
+    return data_[(c * shape_[1] + h) * shape_[2] + w];
+  }
+  [[nodiscard]] double at3(std::size_t c, std::size_t h,
+                           std::size_t w) const {
+    return data_[(c * shape_[1] + h) * shape_[2] + w];
+  }
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<double> data_;
+};
+
+}  // namespace cim::nn

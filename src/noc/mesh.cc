@@ -1,0 +1,230 @@
+#include "noc/mesh.h"
+
+#include <utility>
+
+namespace cim::noc {
+
+Expected<MeshNoc> MeshNoc::Create(const MeshParams& params,
+                                  EventQueue* queue) {
+  if (queue == nullptr) return InvalidArgument("event queue required");
+  if (Status s = params.Validate(); !s.ok()) return s;
+  return MeshNoc(params, queue);
+}
+
+MeshNoc::MeshNoc(const MeshParams& params, EventQueue* queue)
+    : params_(params), queue_(queue) {
+  const std::size_t node_count =
+      static_cast<std::size_t>(params.width) * params.height;
+  nodes_.resize(node_count);
+  links_.resize(node_count * kDirectionCount);
+}
+
+NodeId MeshNoc::Neighbor(NodeId n, Direction dir) {
+  switch (dir) {
+    case Direction::kEast: return {static_cast<std::uint16_t>(n.x + 1), n.y};
+    case Direction::kWest: return {static_cast<std::uint16_t>(n.x - 1), n.y};
+    case Direction::kNorth: return {n.x, static_cast<std::uint16_t>(n.y + 1)};
+    case Direction::kSouth: return {n.x, static_cast<std::uint16_t>(n.y - 1)};
+  }
+  return n;
+}
+
+void MeshNoc::SetDeliveryHandler(NodeId node, DeliveryHandler handler) {
+  if (!InBounds(node)) return;
+  nodes_[NodeIndex(node)].handler = std::move(handler);
+}
+
+Status MeshNoc::Inject(Packet packet) {
+  if (!InBounds(packet.source) || !InBounds(packet.destination)) {
+    return InvalidArgument("packet endpoints outside mesh");
+  }
+  if (nodes_[NodeIndex(packet.source)].failed) {
+    return Unavailable("source node failed");
+  }
+  packet.injected_at = queue_->now();
+  ++telemetry_.injected;
+  queue_->ScheduleAfter(TimeNs(0.0), [this, packet = std::move(packet)] {
+    ArriveAt(packet, packet.source, 0);
+  });
+  return Status::Ok();
+}
+
+Status MeshNoc::SetNodeFailed(NodeId node, bool failed) {
+  if (!InBounds(node)) return OutOfRange("node outside mesh");
+  nodes_[NodeIndex(node)].failed = failed;
+  return Status::Ok();
+}
+
+Status MeshNoc::SetLinkFailed(NodeId from, Direction dir, bool failed) {
+  if (!InBounds(from) || !InBounds(Neighbor(from, dir))) {
+    return OutOfRange("link outside mesh");
+  }
+  links_[LinkIndex(from, dir)].failed = failed;
+  return Status::Ok();
+}
+
+bool MeshNoc::IsNodeFailed(NodeId node) const {
+  return InBounds(node) && nodes_[NodeIndex(node)].failed;
+}
+
+const RunningStat* MeshNoc::StreamLatency(std::uint64_t stream) const {
+  const auto it = stream_latency_.find(stream);
+  return it == stream_latency_.end() ? nullptr : &it->second;
+}
+
+Expected<Direction> MeshNoc::NextHop(NodeId at, NodeId dst,
+                                     bool* rerouted) const {
+  *rerouted = false;
+  // Dimension-order preference: X first, then Y.
+  Direction preferred;
+  if (dst.x != at.x) {
+    preferred = dst.x > at.x ? Direction::kEast : Direction::kWest;
+  } else {
+    preferred = dst.y > at.y ? Direction::kNorth : Direction::kSouth;
+  }
+  const auto usable = [&](Direction dir) {
+    const NodeId next = Neighbor(at, dir);
+    if (!InBounds(next) || links_[LinkIndex(at, dir)].failed) return false;
+    // Avoid routing *through* a dead node; stepping onto a dead final
+    // destination is allowed (the drop is charged to the destination).
+    if (!(next == dst) && nodes_[NodeIndex(next)].failed) return false;
+    return true;
+  };
+  if (usable(preferred)) return preferred;
+
+  // Single-turn failover: detour along the perpendicular dimension,
+  // preferring the direction that makes progress toward the destination.
+  std::array<Direction, 3> fallbacks{};
+  std::size_t n = 0;
+  if (dst.x != at.x) {
+    fallbacks[n++] = dst.y >= at.y ? Direction::kNorth : Direction::kSouth;
+    fallbacks[n++] = dst.y >= at.y ? Direction::kSouth : Direction::kNorth;
+  } else {
+    fallbacks[n++] = dst.x >= at.x ? Direction::kEast : Direction::kWest;
+    fallbacks[n++] = dst.x >= at.x ? Direction::kWest : Direction::kEast;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (usable(fallbacks[i])) {
+      *rerouted = true;
+      return fallbacks[i];
+    }
+  }
+  return Unavailable("no usable link toward destination");
+}
+
+void MeshNoc::Drop(const Packet& packet, DropReason reason) {
+  ++telemetry_.dropped;
+  if (on_drop_) on_drop_(packet, reason);
+}
+
+void MeshNoc::ArriveAt(Packet packet, NodeId node, int hops) {
+  if (nodes_[NodeIndex(node)].failed) {
+    Drop(packet, DropReason::kNodeFailed);
+    return;
+  }
+  if (node == packet.destination) {
+    ++telemetry_.delivered;
+    const double latency = (queue_->now() - packet.injected_at).ns;
+    telemetry_.latency_ns.Add(latency);
+    telemetry_.latency_by_class[static_cast<std::size_t>(packet.qos)].Add(
+        latency);
+    stream_latency_[packet.stream_id].Add(latency);
+    const Node& dst = nodes_[NodeIndex(node)];
+    if (dst.handler) {
+      dst.handler(Delivery{std::move(packet), queue_->now(), hops});
+    }
+    return;
+  }
+  // Hop cap breaks detour livelock when a region is fully failed.
+  const int hop_cap = 4 * params_.width * params_.height;
+  if (hops >= hop_cap) {
+    Drop(packet, DropReason::kUnroutable);
+    return;
+  }
+  bool rerouted = false;
+  auto dir = NextHop(node, packet.destination, &rerouted);
+  if (!dir.ok()) {
+    Drop(packet, DropReason::kUnroutable);
+    return;
+  }
+  if (rerouted) ++telemetry_.rerouted_hops;
+  TraverseLink(std::move(packet), node, *dir, hops);
+}
+
+void MeshNoc::TraverseLink(Packet packet, NodeId from, Direction dir,
+                           int hops) {
+  const std::size_t link_idx = LinkIndex(from, dir);
+  Link& link = links_[link_idx];
+  link.queues[static_cast<std::size_t>(packet.qos)].push_back(
+      std::move(packet));
+  link.queued_hops[static_cast<std::size_t>(packet.qos)].push_back(hops);
+  if (!link.drain_scheduled) {
+    link.drain_scheduled = true;
+    const TimeNs when =
+        link.busy_until > queue_->now() ? link.busy_until : queue_->now();
+    queue_->ScheduleAt(when,
+                       [this, link_idx, from, dir] {
+                         DrainLink(link_idx, from, dir);
+                       });
+  }
+}
+
+void MeshNoc::DrainLink(std::size_t link_idx, NodeId from, Direction dir) {
+  Link& link = links_[link_idx];
+  link.drain_scheduled = false;
+
+  // If the link failed while packets were queued, reroute them all.
+  if (link.failed) {
+    for (int cls = 0; cls < kQosClassCount; ++cls) {
+      while (!link.queues[cls].empty()) {
+        Packet packet = std::move(link.queues[cls].front());
+        link.queues[cls].pop_front();
+        const int hops = link.queued_hops[cls].front();
+        link.queued_hops[cls].pop_front();
+        ArriveAt(std::move(packet), from, hops);
+      }
+    }
+    return;
+  }
+
+  // Service the highest-priority non-empty class.
+  for (int cls = 0; cls < kQosClassCount; ++cls) {
+    if (link.queues[cls].empty()) continue;
+    Packet packet = std::move(link.queues[cls].front());
+    link.queues[cls].pop_front();
+    const int hops = link.queued_hops[cls].front();
+    link.queued_hops[cls].pop_front();
+
+    const TimeNs serialization = SerializationDelay(packet.payload_bytes);
+    link.busy_until = queue_->now() + serialization;
+    telemetry_.cost.energy_pj +=
+        params_.hop_energy_per_byte.pj * packet.payload_bytes +
+        params_.router_energy.pj;
+    telemetry_.cost.bytes_moved += packet.payload_bytes;
+    telemetry_.cost.latency_ns += serialization.ns;
+    ++telemetry_.cost.operations;
+
+    const NodeId next = Neighbor(from, dir);
+    const TimeNs arrival = queue_->now() + params_.router_latency +
+                           params_.link_latency + serialization;
+    queue_->ScheduleAt(arrival,
+                       [this, packet = std::move(packet), next, hops] {
+                         ArriveAt(packet, next, hops + 1);
+                       });
+    break;
+  }
+
+  // More traffic pending: schedule the next drain when the link frees.
+  bool any_pending = false;
+  for (const auto& q : link.queues) {
+    if (!q.empty()) any_pending = true;
+  }
+  if (any_pending) {
+    link.drain_scheduled = true;
+    queue_->ScheduleAt(link.busy_until, [this, link_idx, from, dir] {
+      DrainLink(link_idx, from, dir);
+    });
+  }
+}
+
+}  // namespace cim::noc

@@ -1,0 +1,150 @@
+// Event-driven 2-D mesh interconnect with per-class virtual channels,
+// dimension-order routing with single-turn failover, link contention and
+// full per-stream telemetry.
+//
+// The model is packet-granular: each hop costs router latency plus link
+// serialization at the provisioned bandwidth; a busy link queues packets per
+// QoS class and services the highest-priority class first. Links can be
+// failed and restored at runtime — the basis of the §IV.B failover and §V.A
+// stream-redirection experiments.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "noc/packet.h"
+
+namespace cim::noc {
+
+struct MeshParams {
+  std::uint16_t width = 4;
+  std::uint16_t height = 4;
+  double link_bandwidth_gbps = 16.0;  // GB/s per link
+  TimeNs router_latency{5.0};         // per-hop pipeline latency
+  TimeNs link_latency{2.0};           // wire time-of-flight per hop
+  EnergyPj hop_energy_per_byte{1.0};
+  EnergyPj router_energy{10.0};       // per packet per hop
+
+  [[nodiscard]] Status Validate() const {
+    if (width == 0 || height == 0) return InvalidArgument("empty mesh");
+    if (link_bandwidth_gbps <= 0.0) {
+      return InvalidArgument("bandwidth must be positive");
+    }
+    return Status::Ok();
+  }
+};
+
+enum class Direction : std::uint8_t { kEast = 0, kWest, kNorth, kSouth };
+inline constexpr int kDirectionCount = 4;
+
+// Delivery report handed to the receiver's callback.
+struct Delivery {
+  Packet packet;
+  TimeNs delivered_at{0.0};
+  int hops = 0;
+};
+
+// Why a packet never arrived.
+enum class DropReason : std::uint8_t {
+  kUnroutable = 0,  // all candidate links at some hop were failed
+  kNodeFailed,      // destination node marked failed
+};
+
+struct NocTelemetry {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t rerouted_hops = 0;  // hops taken off the XY path
+  CostReport cost;
+  RunningStat latency_ns;
+  // Per-QoS latency, indexed by QosClass.
+  std::array<RunningStat, kQosClassCount> latency_by_class;
+};
+
+class MeshNoc {
+ public:
+  using DeliveryHandler = std::function<void(const Delivery&)>;
+  using DropHandler = std::function<void(const Packet&, DropReason)>;
+
+  [[nodiscard]] static Expected<MeshNoc> Create(const MeshParams& params,
+                                                EventQueue* queue);
+
+  [[nodiscard]] const MeshParams& params() const { return params_; }
+
+  // Receiver registration. A node without a handler silently consumes.
+  void SetDeliveryHandler(NodeId node, DeliveryHandler handler);
+  void SetDropHandler(DropHandler handler) { on_drop_ = std::move(handler); }
+
+  // Inject a packet at its source at the current simulated time.
+  Status Inject(Packet packet);
+
+  // Fault hooks: fail/restore a node or one directed link.
+  Status SetNodeFailed(NodeId node, bool failed);
+  Status SetLinkFailed(NodeId from, Direction dir, bool failed);
+  [[nodiscard]] bool IsNodeFailed(NodeId node) const;
+
+  [[nodiscard]] const NocTelemetry& telemetry() const { return telemetry_; }
+  // Per-stream latency stats.
+  [[nodiscard]] const RunningStat* StreamLatency(std::uint64_t stream) const;
+
+ private:
+  struct Link {
+    bool failed = false;
+    TimeNs busy_until{0.0};
+    // One queue per QoS class, serviced highest priority first.
+    std::array<std::deque<Packet>, kQosClassCount> queues;
+    std::array<std::deque<int>, kQosClassCount> queued_hops;
+    bool drain_scheduled = false;
+  };
+  struct Node {
+    bool failed = false;
+    DeliveryHandler handler;
+  };
+
+  MeshNoc(const MeshParams& params, EventQueue* queue);
+
+  [[nodiscard]] std::size_t NodeIndex(NodeId n) const {
+    return static_cast<std::size_t>(n.y) * params_.width + n.x;
+  }
+  [[nodiscard]] bool InBounds(NodeId n) const {
+    return n.x < params_.width && n.y < params_.height;
+  }
+  [[nodiscard]] std::size_t LinkIndex(NodeId from, Direction dir) const {
+    return NodeIndex(from) * kDirectionCount + static_cast<std::size_t>(dir);
+  }
+  [[nodiscard]] static NodeId Neighbor(NodeId n, Direction dir);
+
+  [[nodiscard]] TimeNs SerializationDelay(std::uint32_t bytes) const {
+    return TimeNs(static_cast<double>(bytes) / params_.link_bandwidth_gbps);
+  }
+
+  // Route one hop: returns the direction to take from `at` toward `dst`,
+  // preferring X-then-Y but detouring when the preferred link is failed.
+  // rerouted is set when the fallback was used.
+  [[nodiscard]] Expected<Direction> NextHop(NodeId at, NodeId dst,
+                                            bool* rerouted) const;
+
+  void ArriveAt(Packet packet, NodeId node, int hops);
+  void TraverseLink(Packet packet, NodeId from, Direction dir, int hops);
+  void StartTransmission(std::size_t link_idx, NodeId from, Direction dir,
+                         Packet packet, int hops);
+  void DrainLink(std::size_t link_idx, NodeId from, Direction dir);
+  void Drop(const Packet& packet, DropReason reason);
+
+  MeshParams params_;
+  EventQueue* queue_;
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  DropHandler on_drop_;
+  NocTelemetry telemetry_;
+  std::unordered_map<std::uint64_t, RunningStat> stream_latency_;
+};
+
+}  // namespace cim::noc

@@ -1,0 +1,49 @@
+#include "noc/photonic.h"
+
+namespace cim::noc {
+
+Expected<LinkTransfer> ElectricalLinkParams::Transfer(
+    double bytes, double distance_cm) const {
+  if (bytes < 0.0 || distance_cm < 0.0) {
+    return InvalidArgument("negative transfer");
+  }
+  if (distance_cm > max_reach_cm) {
+    return OutOfRange("electrical link beyond usable reach");
+  }
+  const double bits = bytes * 8.0;
+  LinkTransfer t;
+  // Bandwidth derates linearly to 25% at max reach (equalization limits).
+  const double derate = 1.0 - 0.75 * (distance_cm / max_reach_cm);
+  t.effective_bandwidth_gbps = bandwidth_gbps * derate;
+  t.latency_ns = distance_cm * propagation_ns_per_cm +
+                 bytes / t.effective_bandwidth_gbps;
+  t.energy_pj = bits * (base_energy_pj_per_bit +
+                        energy_pj_per_bit_per_cm * distance_cm);
+  return t;
+}
+
+Expected<LinkTransfer> PhotonicLinkParams::Transfer(
+    double bytes, double distance_cm) const {
+  if (bytes < 0.0 || distance_cm < 0.0) {
+    return InvalidArgument("negative transfer");
+  }
+  const double bits = bytes * 8.0;
+  LinkTransfer t;
+  t.effective_bandwidth_gbps = bandwidth_gbps;
+  t.latency_ns = conversion_latency_ns +
+                 distance_cm * propagation_ns_per_cm +
+                 bytes / bandwidth_gbps;
+  t.energy_pj = bits * energy_pj_per_bit;  // flat in distance
+  return t;
+}
+
+double PhotonicCrossoverCm(const ElectricalLinkParams& e,
+                           const PhotonicLinkParams& p) {
+  // Solve base + k*d == p.energy_pj_per_bit for d.
+  if (e.energy_pj_per_bit_per_cm <= 0.0) return 0.0;
+  const double d = (p.energy_pj_per_bit - e.base_energy_pj_per_bit) /
+                   e.energy_pj_per_bit_per_cm;
+  return d > 0.0 ? d : 0.0;
+}
+
+}  // namespace cim::noc

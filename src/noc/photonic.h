@@ -1,0 +1,59 @@
+// Photonic interconnect model (§II.A: "photonics interconnects grow in
+// importance, since they enable communications from centimeters to
+// kilometers at the same energy per bit, varying only in the time of
+// flight").
+//
+// Two point-to-point link models share an interface: an electrical link
+// whose energy per bit grows with distance (wire charging) and degrades in
+// bandwidth over long spans, and a photonic link whose energy per bit is
+// flat in distance (laser + modulation + detection, paid per bit) plus a
+// fixed electro-optic conversion tax, with only time-of-flight varying.
+// The crossover distance is the quantitative content of the paper's claim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace cim::noc {
+
+struct LinkTransfer {
+  double latency_ns = 0.0;
+  double energy_pj = 0.0;
+  double effective_bandwidth_gbps = 0.0;
+};
+
+struct ElectricalLinkParams {
+  // On-board copper: ~1 pJ/bit at 5 cm, growing linearly with distance
+  // (repeater/charging energy), and usable bandwidth falling off beyond
+  // tens of centimeters.
+  double energy_pj_per_bit_per_cm = 0.2;
+  double base_energy_pj_per_bit = 0.5;
+  double bandwidth_gbps = 50.0;       // short-reach
+  double max_reach_cm = 500.0;        // beyond this, unusable
+  double propagation_ns_per_cm = 0.05;  // ~2/3 c in copper
+
+  [[nodiscard]] Expected<LinkTransfer> Transfer(double bytes,
+                                                double distance_cm) const;
+};
+
+struct PhotonicLinkParams {
+  // Silicon-photonics class: flat pJ/bit regardless of distance.
+  double energy_pj_per_bit = 1.0;       // laser + modulator + detector
+  double conversion_latency_ns = 5.0;   // E/O + O/E
+  double bandwidth_gbps = 100.0;        // per wavelength x WDM
+  double propagation_ns_per_cm = 0.049; // c in fiber (n ~ 1.45)
+
+  [[nodiscard]] Expected<LinkTransfer> Transfer(double bytes,
+                                                double distance_cm) const;
+};
+
+// The distance beyond which the photonic link costs less energy per bit
+// than the electrical one (closed form from the linear models).
+[[nodiscard]] double PhotonicCrossoverCm(const ElectricalLinkParams& e,
+                                         const PhotonicLinkParams& p);
+
+}  // namespace cim::noc

@@ -1,0 +1,70 @@
+// Table 1 experiment support: the same streaming workload executed on the
+// three approaches to computing the paper compares — von Neumann parallel
+// (shared memory), von Neumann distributed (message passing), and CIM
+// (dataflow) — with faults injected at a configurable rate. The quantified
+// outputs (blast radius, availability, recovery time, security exposure,
+// scaling ceiling) are the measurable content behind Table 1's qualitative
+// cells.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace cim::reliability {
+
+enum class Approach : std::uint8_t {
+  kSharedMemoryParallel = 0,  // multi-threaded, one partition
+  kDistributed,               // message passing, machine granularity
+  kComputingInMemory,         // dataflow streams, redundant units
+};
+
+[[nodiscard]] std::string ApproachName(Approach approach);
+
+// Static, structural properties (the non-simulated Table 1 columns).
+struct ApproachProfile {
+  std::string programming_model;
+  double scaling_ceiling_components = 0.0;  // practical components/system
+  std::string failure_unit;    // what one fault takes down
+  std::string security_boundary;
+  std::string robustness;
+};
+[[nodiscard]] ApproachProfile ProfileOf(Approach approach);
+
+struct ResilienceParams {
+  std::size_t components = 64;      // cores / machines / CIM units
+  double fault_rate_per_component_per_sec = 1e-4;
+  double duration_sec = 3600.0;
+  double work_items_per_sec = 1000.0;
+  // Recovery costs per approach.
+  double shared_restart_sec = 30.0;      // whole-partition reboot
+  double distributed_failover_sec = 2.0; // replica takeover
+  double cim_redirect_sec = 1e-4;        // stream redirection (100 us)
+
+  [[nodiscard]] Status Validate() const {
+    if (components == 0) return InvalidArgument("need components");
+    if (duration_sec <= 0.0 || work_items_per_sec < 0.0) {
+      return InvalidArgument("bad workload parameters");
+    }
+    return Status::Ok();
+  }
+};
+
+struct ResilienceReport {
+  Approach approach{};
+  std::uint64_t faults = 0;
+  double total_items = 0.0;
+  double lost_items = 0.0;
+  double downtime_sec = 0.0;
+  double availability = 1.0;       // completed / offered
+  double blast_radius = 0.0;       // fraction of the system one fault stops
+  double mean_recovery_sec = 0.0;
+};
+
+// Monte-Carlo run of `params` under the given approach.
+[[nodiscard]] Expected<ResilienceReport> RunResilienceExperiment(
+    Approach approach, const ResilienceParams& params, Rng& rng);
+
+}  // namespace cim::reliability

@@ -1,0 +1,84 @@
+#include "runtime/hybrid.h"
+
+#include <algorithm>
+
+namespace cim::runtime {
+namespace {
+
+double ResidualFraction(const HybridWorkload& w) {
+  return std::max(0.0, 1.0 - w.mvm_fraction - w.scalar_fraction);
+}
+
+}  // namespace
+
+Expected<HybridReport> EvaluateHostOnly(const HybridWorkload& workload,
+                                        const HybridMachineParams& machine) {
+  if (Status s = workload.Validate(); !s.ok()) return s;
+  HybridReport report;
+  report.configuration = "host-only";
+  const double compute_ns = workload.total_ops / machine.host_ops_per_ns;
+  const double bytes = workload.total_ops * workload.bytes_per_op;
+  const double memory_ns = bytes / machine.host_memory_gbps;
+  report.latency_ns = std::max(compute_ns, memory_ns);
+  report.energy_pj = workload.total_ops * machine.host_energy_per_op_pj +
+                     bytes * machine.host_energy_per_byte_pj;
+  report.speedup_vs_host = 1.0;
+  report.energy_ratio_vs_host = 1.0;
+  return report;
+}
+
+Expected<HybridReport> EvaluateCimWithinVonNeumann(
+    const HybridWorkload& workload, const HybridMachineParams& machine) {
+  auto host = EvaluateHostOnly(workload, machine);
+  if (!host.ok()) return host.status();
+  HybridReport report;
+  report.configuration = "cim-within-von-neumann";
+
+  const double mvm_ops = workload.total_ops * workload.mvm_fraction;
+  const double host_ops =
+      workload.total_ops * (workload.scalar_fraction +
+                            ResidualFraction(workload));
+  // The accelerated share's operands stay in memory: its bus traffic
+  // disappears; the host still streams its own share.
+  const double host_bytes = host_ops * workload.bytes_per_op;
+  const double host_ns =
+      std::max(host_ops / machine.host_ops_per_ns,
+               host_bytes / machine.host_memory_gbps);
+  const double cim_ns = mvm_ops / machine.cim_mvm_ops_per_ns;
+  const double overhead_ns =
+      machine.offload_overhead_ns * machine.episodes;
+  // Host and memory compute overlap (the memory *is* the accelerator).
+  report.latency_ns = std::max(host_ns, cim_ns) + overhead_ns;
+  report.energy_pj = host_ops * machine.host_energy_per_op_pj +
+                     host_bytes * machine.host_energy_per_byte_pj +
+                     mvm_ops * machine.cim_energy_per_op_pj;
+  report.speedup_vs_host = host->latency_ns / report.latency_ns;
+  report.energy_ratio_vs_host = host->energy_pj / report.energy_pj;
+  return report;
+}
+
+Expected<HybridReport> EvaluateVonNeumannWithinCim(
+    const HybridWorkload& workload, const HybridMachineParams& machine) {
+  auto host = EvaluateHostOnly(workload, machine);
+  if (!host.ok()) return host.status();
+  HybridReport report;
+  report.configuration = "von-neumann-within-cim";
+
+  const double mvm_ops = workload.total_ops * workload.mvm_fraction;
+  const double scalar_ops =
+      workload.total_ops * (workload.scalar_fraction +
+                            ResidualFraction(workload));
+  // Everything runs inside the fabric: dataflow share on crossbars,
+  // control share on embedded cores, pipelined against each other; no
+  // offload episodes and no memory-bus traffic at all.
+  const double mvm_ns = mvm_ops / machine.cim_mvm_ops_per_ns;
+  const double scalar_ns = scalar_ops / machine.cim_scalar_ops_per_ns;
+  report.latency_ns = std::max(mvm_ns, scalar_ns);
+  report.energy_pj = mvm_ops * machine.cim_energy_per_op_pj +
+                     scalar_ops * machine.cim_scalar_energy_per_op_pj;
+  report.speedup_vs_host = host->latency_ns / report.latency_ns;
+  report.energy_ratio_vs_host = host->energy_pj / report.energy_pj;
+  return report;
+}
+
+}  // namespace cim::runtime

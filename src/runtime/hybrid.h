@@ -1,0 +1,77 @@
+// §III.F: interactions between von Neumann and CIM models.
+//
+// Two composition directions, each an Amdahl-style analytical model over a
+// workload split into dot-product-shaped work, scalar/control work, and
+// data movement:
+//   * CIM within von Neumann — CIM serves as the system's (acceleration-
+//     capable) memory: MVM-shaped work executes in memory, the host covers
+//     the rest, and the traffic for the accelerated share never crosses
+//     the memory bus.
+//   * von Neumann within CIM — a dataflow fabric with embedded scalar
+//     cores absorbing the control-flow share that pure dataflow handles
+//     poorly.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+
+namespace cim::runtime {
+
+// A workload in the §III.F sense.
+struct HybridWorkload {
+  double total_ops = 1e9;
+  double mvm_fraction = 0.7;     // dot-product-shaped share
+  double scalar_fraction = 0.3;  // control/branchy share
+  double bytes_per_op = 4.0;     // memory traffic of the unaccelerated path
+
+  [[nodiscard]] Status Validate() const {
+    if (total_ops <= 0.0) return InvalidArgument("total_ops <= 0");
+    if (mvm_fraction < 0.0 || scalar_fraction < 0.0 ||
+        mvm_fraction + scalar_fraction > 1.0 + 1e-9) {
+      return InvalidArgument("fractions must be non-negative and sum <= 1");
+    }
+    return Status::Ok();
+  }
+};
+
+struct HybridMachineParams {
+  // Host von Neumann core(s).
+  double host_ops_per_ns = 100.0;
+  double host_memory_gbps = 60.0;
+  double host_energy_per_op_pj = 60.0;
+  double host_energy_per_byte_pj = 20.0;
+  // In-memory compute.
+  double cim_mvm_ops_per_ns = 10000.0;
+  double cim_energy_per_op_pj = 0.3;
+  // Embedded scalar cores inside the CIM fabric (slower than host cores).
+  double cim_scalar_ops_per_ns = 5.0;
+  double cim_scalar_energy_per_op_pj = 5.0;
+  // Host <-> CIM coordination per offload episode.
+  double offload_overhead_ns = 1000.0;
+  double episodes = 100.0;  // offload granularity over the workload
+};
+
+struct HybridReport {
+  std::string configuration;
+  double latency_ns = 0.0;
+  double energy_pj = 0.0;
+  double speedup_vs_host = 1.0;
+  double energy_ratio_vs_host = 1.0;  // host energy / this energy
+};
+
+// Pure host baseline.
+[[nodiscard]] Expected<HybridReport> EvaluateHostOnly(
+    const HybridWorkload& workload, const HybridMachineParams& machine);
+
+// CIM within von Neumann: host runs scalar + residual work, the memory
+// executes the MVM share in place.
+[[nodiscard]] Expected<HybridReport> EvaluateCimWithinVonNeumann(
+    const HybridWorkload& workload, const HybridMachineParams& machine);
+
+// Von Neumann within CIM: the fabric's dataflow handles the MVM share,
+// embedded scalar cores the control share; no host in the loop.
+[[nodiscard]] Expected<HybridReport> EvaluateVonNeumannWithinCim(
+    const HybridWorkload& workload, const HybridMachineParams& machine);
+
+}  // namespace cim::runtime

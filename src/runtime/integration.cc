@@ -1,0 +1,85 @@
+#include "runtime/integration.h"
+
+namespace cim::runtime {
+
+std::string IntegrationModelName(IntegrationModel model) {
+  switch (model) {
+    case IntegrationModel::kSlave: return "slave";
+    case IntegrationModel::kCooperative: return "cooperative";
+    case IntegrationModel::kIntegrated: return "integrated";
+    case IntegrationModel::kNative: return "native";
+  }
+  return "?";
+}
+
+Expected<IntegrationReport> EvaluateIntegration(
+    const dpe::AnalyticalDpeModel& dpe_model, const nn::Network& net,
+    IntegrationModel model, const IntegrationCostParams& params) {
+  auto estimate = dpe_model.EstimateInference(net);
+  if (!estimate.ok()) return estimate.status();
+  auto profiles = nn::ProfileNetwork(net);
+  if (!profiles.ok()) return profiles.status();
+
+  // Bytes in = network input activations; bytes out = final layer output
+  // (8-bit activations at the CIM boundary).
+  double bytes_in = 1.0;
+  for (std::size_t d : net.input_shape) bytes_in *= static_cast<double>(d);
+  const double bytes_out =
+      profiles->empty() ? 0.0
+                        : static_cast<double>(profiles->back().out_elements);
+
+  double dispatch_ns = 0.0;
+  double link_gbps = 1.0;
+  double host_energy_pj = 0.0;
+  switch (model) {
+    case IntegrationModel::kSlave:
+      dispatch_ns = params.slave_driver_ns;
+      link_gbps = params.slave_link_gbps;
+      host_energy_pj = params.host_energy_per_request_pj_slave;
+      break;
+    case IntegrationModel::kCooperative:
+      dispatch_ns = params.cooperative_dispatch_ns;
+      link_gbps = params.cooperative_link_gbps;
+      host_energy_pj = params.host_energy_per_request_pj_cooperative;
+      break;
+    case IntegrationModel::kIntegrated:
+      dispatch_ns = params.integrated_dispatch_ns;
+      link_gbps = params.integrated_link_gbps;
+      host_energy_pj = params.host_energy_per_request_pj_integrated;
+      break;
+    case IntegrationModel::kNative:
+      dispatch_ns = params.native_dispatch_ns;
+      link_gbps = params.native_link_gbps;
+      host_energy_pj = params.host_energy_per_request_pj_native;
+      break;
+  }
+
+  IntegrationReport report;
+  report.model = model;
+  report.compute_latency_ns = estimate->latency_ns;
+  report.overhead_latency_ns =
+      dispatch_ns + (bytes_in + bytes_out) / link_gbps;
+  report.total_latency_ns =
+      report.compute_latency_ns + report.overhead_latency_ns;
+  report.overhead_fraction =
+      report.overhead_latency_ns / report.total_latency_ns;
+  report.energy_pj = estimate->energy_pj + host_energy_pj;
+  report.requests_per_sec = 1e9 / report.total_latency_ns;
+  return report;
+}
+
+Expected<std::array<IntegrationReport, kIntegrationModelCount>>
+EvaluateAllIntegrations(const dpe::AnalyticalDpeModel& dpe_model,
+                        const nn::Network& net,
+                        const IntegrationCostParams& params) {
+  std::array<IntegrationReport, kIntegrationModelCount> reports{};
+  for (int i = 0; i < kIntegrationModelCount; ++i) {
+    auto report = EvaluateIntegration(
+        dpe_model, net, static_cast<IntegrationModel>(i), params);
+    if (!report.ok()) return report.status();
+    reports[static_cast<std::size_t>(i)] = *report;
+  }
+  return reports;
+}
+
+}  // namespace cim::runtime

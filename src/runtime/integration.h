@@ -1,0 +1,71 @@
+// Fig 6: evolution of CIM integration with the host system.
+//
+// The paper sketches four stages: CIM as a *slave* accelerator behind a
+// driver and an I/O bus, a *cooperative* peer sharing memory with the host,
+// an *integrated* device in the same hardware module, and a *native* CIM
+// computer that needs no host at all. The model runs the same inference
+// service under each stage and reports where the time goes — the measurable
+// content of the figure is the shrinking host/transfer overhead fraction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "dpe/analytical.h"
+#include "nn/network.h"
+
+namespace cim::runtime {
+
+enum class IntegrationModel : std::uint8_t {
+  kSlave = 0,       // PCIe-class DMA + driver syscall per request
+  kCooperative,     // shared memory, user-space doorbells
+  kIntegrated,      // same package, cache-coherent
+  kNative,          // CIM standalone: sensor data arrives directly
+};
+inline constexpr int kIntegrationModelCount = 4;
+
+[[nodiscard]] std::string IntegrationModelName(IntegrationModel model);
+
+struct IntegrationCostParams {
+  // Per-request host-side software overhead.
+  double slave_driver_ns = 10000.0;       // syscall + driver + doorbell
+  double cooperative_dispatch_ns = 1500.0; // user-space queue
+  double integrated_dispatch_ns = 300.0;   // coherent doorbell
+  double native_dispatch_ns = 0.0;
+  // Input/output transfer bandwidth available to each stage.
+  double slave_link_gbps = 12.0;          // PCIe-class
+  double cooperative_link_gbps = 40.0;    // shared DRAM
+  double integrated_link_gbps = 200.0;    // on-package
+  double native_link_gbps = 400.0;        // direct sensor fabric
+  // Host CPU energy burned per request while orchestrating.
+  double host_energy_per_request_pj_slave = 5.0e6;
+  double host_energy_per_request_pj_cooperative = 1.0e6;
+  double host_energy_per_request_pj_integrated = 2.0e5;
+  double host_energy_per_request_pj_native = 0.0;
+};
+
+struct IntegrationReport {
+  IntegrationModel model{};
+  double total_latency_ns = 0.0;
+  double compute_latency_ns = 0.0;
+  double overhead_latency_ns = 0.0;  // dispatch + transfers
+  double overhead_fraction = 0.0;
+  double energy_pj = 0.0;            // DPE + host orchestration
+  double requests_per_sec = 0.0;
+};
+
+// Evaluate one inference request (input/output activations move over the
+// stage's link; the DPE compute itself is the analytical estimate).
+[[nodiscard]] Expected<IntegrationReport> EvaluateIntegration(
+    const dpe::AnalyticalDpeModel& dpe_model, const nn::Network& net,
+    IntegrationModel model, const IntegrationCostParams& params = {});
+
+// Convenience: all four stages.
+[[nodiscard]] Expected<std::array<IntegrationReport, kIntegrationModelCount>>
+EvaluateAllIntegrations(const dpe::AnalyticalDpeModel& dpe_model,
+                        const nn::Network& net,
+                        const IntegrationCostParams& params = {});
+
+}  // namespace cim::runtime

@@ -1,0 +1,145 @@
+#include "runtime/load_balancer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cim::runtime {
+
+Status LoadBalancer::AddWorker(const WorkerInfo& worker) {
+  if (worker.capacity_ops_per_sec <= 0.0) {
+    return InvalidArgument("capacity must be positive");
+  }
+  if (workers_.contains(worker.id)) return AlreadyExists("worker id in use");
+  workers_[worker.id] = worker;
+  assigned_demand_[worker.id] = 0.0;
+  return Status::Ok();
+}
+
+Status LoadBalancer::RemoveWorker(WorkerId id) {
+  const auto it = workers_.find(id);
+  if (it == workers_.end()) return NotFound("worker");
+  // Streams on this worker become unassigned (caller should Rebalance).
+  for (auto& [stream, assignment] : stream_assignments_) {
+    if (assignment.worker == id) assignment.pinned = false;
+  }
+  std::erase_if(stream_assignments_,
+                [id](const auto& kv) { return kv.second.worker == id; });
+  workers_.erase(it);
+  assigned_demand_.erase(id);
+  return Status::Ok();
+}
+
+Status LoadBalancer::SetWorkerHealthy(WorkerId id, bool healthy) {
+  const auto it = workers_.find(id);
+  if (it == workers_.end()) return NotFound("worker");
+  it->second.healthy = healthy;
+  return Status::Ok();
+}
+
+Expected<WorkerId> LoadBalancer::LeastLoadedWorker() const {
+  double best_load = std::numeric_limits<double>::infinity();
+  std::optional<WorkerId> best;
+  for (const auto& [id, info] : workers_) {
+    if (!info.healthy) continue;
+    const double load =
+        assigned_demand_.at(id) / info.capacity_ops_per_sec;
+    if (load < best_load) {
+      best_load = load;
+      best = id;
+    }
+  }
+  if (!best.has_value()) return Unavailable("no healthy workers");
+  return *best;
+}
+
+Expected<WorkerId> LoadBalancer::Assign(StreamId stream,
+                                        double demand_ops_per_sec,
+                                        bool pinned) {
+  if (demand_ops_per_sec < 0.0) return InvalidArgument("negative demand");
+  // Release a previous assignment (unless pinned).
+  const auto existing = stream_assignments_.find(stream);
+  if (existing != stream_assignments_.end()) {
+    if (existing->second.pinned) {
+      return FailedPrecondition("stream is pinned; Unpin first");
+    }
+    assigned_demand_[existing->second.worker] -= stream_demand_[stream];
+  }
+  auto target = LeastLoadedWorker();
+  if (!target.ok()) return target.status();
+  stream_assignments_[stream] = Assignment{stream, *target, pinned};
+  stream_demand_[stream] = demand_ops_per_sec;
+  assigned_demand_[*target] += demand_ops_per_sec;
+  return *target;
+}
+
+Status LoadBalancer::Unpin(StreamId stream) {
+  const auto it = stream_assignments_.find(stream);
+  if (it == stream_assignments_.end()) return NotFound("stream");
+  it->second.pinned = false;
+  return Status::Ok();
+}
+
+Expected<int> LoadBalancer::Rebalance() {
+  int moved = 0;
+  for (auto& [stream, assignment] : stream_assignments_) {
+    if (assignment.pinned) continue;
+    const auto worker_it = workers_.find(assignment.worker);
+    const bool unhealthy =
+        worker_it == workers_.end() || !worker_it->second.healthy;
+    const double load =
+        worker_it == workers_.end()
+            ? 0.0
+            : assigned_demand_[assignment.worker] /
+                  worker_it->second.capacity_ops_per_sec;
+    if (!unhealthy && load <= 1.0) continue;
+
+    assigned_demand_[assignment.worker] -= stream_demand_[stream];
+    auto target = LeastLoadedWorker();
+    if (!target.ok()) {
+      // Put the demand back; nothing healthy to move to.
+      assigned_demand_[assignment.worker] += stream_demand_[stream];
+      return target.status();
+    }
+    if (*target != assignment.worker) ++moved;
+    assignment.worker = *target;
+    assigned_demand_[*target] += stream_demand_[stream];
+  }
+  return moved;
+}
+
+std::optional<WorkerId> LoadBalancer::WorkerOf(StreamId stream) const {
+  const auto it = stream_assignments_.find(stream);
+  if (it == stream_assignments_.end()) return std::nullopt;
+  return it->second.worker;
+}
+
+Expected<double> LoadBalancer::LoadOf(WorkerId worker) const {
+  const auto it = workers_.find(worker);
+  if (it == workers_.end()) return NotFound("worker");
+  return assigned_demand_.at(worker) / it->second.capacity_ops_per_sec;
+}
+
+double LoadBalancer::Imbalance() const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  bool any = false;
+  for (const auto& [id, info] : workers_) {
+    if (!info.healthy) continue;
+    any = true;
+    const double load = assigned_demand_.at(id) / info.capacity_ops_per_sec;
+    lo = std::min(lo, load);
+    hi = std::max(hi, load);
+  }
+  return any ? hi - lo : 0.0;
+}
+
+std::vector<Assignment> LoadBalancer::assignments() const {
+  std::vector<Assignment> out;
+  out.reserve(stream_assignments_.size());
+  for (const auto& [stream, assignment] : stream_assignments_) {
+    out.push_back(assignment);
+  }
+  return out;
+}
+
+}  // namespace cim::runtime

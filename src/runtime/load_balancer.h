@@ -1,0 +1,98 @@
+// Resource management (§IV.C): load information management, load balancing
+// with optional pinning, and the closed-loop hooks the SLA controller uses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace cim::runtime {
+
+using StreamId = std::uint64_t;
+using WorkerId = std::uint32_t;
+
+// §IV.C "load information management is required before any action is
+// undertaken": latency and bandwidth per stream, usage per resource.
+class LoadInformationManager {
+ public:
+  void RecordLatency(StreamId stream, double latency_ns) {
+    stream_latency_[stream].Add(latency_ns);
+  }
+  void RecordDemand(StreamId stream, double ops_per_sec) {
+    stream_demand_[stream] = ops_per_sec;
+  }
+  void RecordUtilization(WorkerId worker, double utilization) {
+    worker_utilization_[worker] = utilization;
+  }
+
+  [[nodiscard]] const RunningStat* LatencyOf(StreamId stream) const {
+    const auto it = stream_latency_.find(stream);
+    return it == stream_latency_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] double DemandOf(StreamId stream) const {
+    const auto it = stream_demand_.find(stream);
+    return it == stream_demand_.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] double UtilizationOf(WorkerId worker) const {
+    const auto it = worker_utilization_.find(worker);
+    return it == worker_utilization_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  std::map<StreamId, RunningStat> stream_latency_;
+  std::map<StreamId, double> stream_demand_;
+  std::map<WorkerId, double> worker_utilization_;
+};
+
+struct WorkerInfo {
+  WorkerId id = 0;
+  double capacity_ops_per_sec = 1.0;
+  bool healthy = true;
+};
+
+struct Assignment {
+  StreamId stream = 0;
+  WorkerId worker = 0;
+  bool pinned = false;
+};
+
+// Least-loaded assignment of streams to CIM workers with pinning support
+// (§IV.C: "some of the streams may need to be pinned to given CIM modules").
+class LoadBalancer {
+ public:
+  Status AddWorker(const WorkerInfo& worker);
+  Status RemoveWorker(WorkerId id);
+  Status SetWorkerHealthy(WorkerId id, bool healthy);
+
+  // Assign (or reassign) a stream with the given demand; pinned streams
+  // stay put until explicitly unpinned.
+  [[nodiscard]] Expected<WorkerId> Assign(StreamId stream,
+                                          double demand_ops_per_sec,
+                                          bool pinned = false);
+  Status Unpin(StreamId stream);
+
+  // Move every non-pinned stream off unhealthy/overloaded workers; returns
+  // how many streams moved.
+  [[nodiscard]] Expected<int> Rebalance();
+
+  [[nodiscard]] std::optional<WorkerId> WorkerOf(StreamId stream) const;
+  // Load fraction (assigned demand / capacity) of a worker.
+  [[nodiscard]] Expected<double> LoadOf(WorkerId worker) const;
+  // Max-min load spread across healthy workers; 0 = perfectly balanced.
+  [[nodiscard]] double Imbalance() const;
+  [[nodiscard]] std::vector<Assignment> assignments() const;
+
+ private:
+  [[nodiscard]] Expected<WorkerId> LeastLoadedWorker() const;
+
+  std::map<WorkerId, WorkerInfo> workers_;
+  std::map<WorkerId, double> assigned_demand_;
+  std::map<StreamId, Assignment> stream_assignments_;
+  std::map<StreamId, double> stream_demand_;
+};
+
+}  // namespace cim::runtime

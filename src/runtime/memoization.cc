@@ -1,0 +1,57 @@
+#include "runtime/memoization.h"
+
+namespace cim::runtime {
+
+Expected<MemoCache> MemoCache::Create(const MemoParams& params) {
+  if (Status s = params.Validate(); !s.ok()) return s;
+  return MemoCache(params);
+}
+
+void MemoCache::Touch(std::uint64_t key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(key);
+  it->second.lru_pos = lru_.begin();
+}
+
+Expected<std::vector<double>> MemoCache::Lookup(std::uint64_t key,
+                                                double recompute_energy_pj) {
+  ++stats_.lookups;
+  stats_.energy_spent_pj += params_.lookup_energy_pj;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return NotFound("memo miss");
+  }
+  ++stats_.hits;
+  stats_.energy_saved_pj += recompute_energy_pj;
+  Touch(key);
+  return it->second.value;
+}
+
+Status MemoCache::Insert(std::uint64_t key, std::vector<double> value,
+                         double recompute_energy_pj) {
+  if (entries_.contains(key)) {
+    Touch(key);
+    return Status::Ok();
+  }
+  // Economic admission: persisting must be expected to pay off.
+  if (recompute_energy_pj <
+      params_.write_worthiness * params_.write_energy_pj) {
+    ++stats_.rejected_writes;
+    return FailedPrecondition("result not worth persisting");
+  }
+  while (entries_.size() >= params_.capacity_entries && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(value), recompute_energy_pj, lru_.begin()};
+  ++stats_.insertions;
+  stats_.energy_spent_pj += params_.write_energy_pj;
+  return Status::Ok();
+}
+
+}  // namespace cim::runtime

@@ -1,0 +1,94 @@
+// Closed-loop SLA controller (§IV.C "enabling closed loops ... can be used
+// to manage performance according to given SLA agreements").
+//
+// Periodically compares each stream's observed latency against its target
+// and issues scaling actions: add capacity (provision another worker or
+// raise QoS) when violating, release capacity when comfortably under.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "runtime/load_balancer.h"
+
+namespace cim::runtime {
+
+enum class SlaAction : std::uint8_t {
+  kNone = 0,
+  kScaleUp,    // violating: add a worker / replica for this stream
+  kScaleDown,  // far under target: release capacity
+};
+
+struct SlaTarget {
+  double target_latency_ns = 1e6;
+  // Hysteresis: scale up above target, scale down below
+  // release_fraction * target.
+  double release_fraction = 0.5;
+  int min_samples = 8;
+};
+
+struct SlaDecision {
+  StreamId stream = 0;
+  SlaAction action = SlaAction::kNone;
+  double observed_ns = 0.0;
+  double target_ns = 0.0;
+};
+
+class SlaController {
+ public:
+  Status SetTarget(StreamId stream, SlaTarget target) {
+    if (target.target_latency_ns <= 0.0) {
+      return InvalidArgument("target latency must be positive");
+    }
+    if (target.release_fraction <= 0.0 || target.release_fraction >= 1.0) {
+      return InvalidArgument("release_fraction must be in (0, 1)");
+    }
+    targets_[stream] = target;
+    return Status::Ok();
+  }
+
+  void Observe(StreamId stream, double latency_ns) {
+    windows_[stream].Add(latency_ns);
+  }
+
+  // Evaluate every stream against its target over the current window,
+  // returning the actions to take; the window resets after evaluation.
+  [[nodiscard]] std::vector<SlaDecision> Evaluate() {
+    std::vector<SlaDecision> decisions;
+    for (auto& [stream, target] : targets_) {
+      auto window_it = windows_.find(stream);
+      if (window_it == windows_.end() ||
+          window_it->second.count() <
+              static_cast<std::uint64_t>(target.min_samples)) {
+        continue;
+      }
+      SlaDecision d;
+      d.stream = stream;
+      d.observed_ns = window_it->second.mean();
+      d.target_ns = target.target_latency_ns;
+      if (d.observed_ns > target.target_latency_ns) {
+        d.action = SlaAction::kScaleUp;
+        ++violations_;
+      } else if (d.observed_ns <
+                 target.release_fraction * target.target_latency_ns) {
+        d.action = SlaAction::kScaleDown;
+      }
+      window_it->second.Reset();
+      if (d.action != SlaAction::kNone) decisions.push_back(d);
+    }
+    return decisions;
+  }
+
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+
+ private:
+  std::map<StreamId, SlaTarget> targets_;
+  std::map<StreamId, RunningStat> windows_;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace cim::runtime

@@ -1,0 +1,142 @@
+#include "runtime/virtualization.h"
+
+#include <algorithm>
+
+namespace cim::runtime {
+
+VirtualizationManager::VirtualizationManager(arch::Fabric* fabric)
+    : fabric_(fabric) {
+  const auto& mesh = fabric->params().mesh;
+  for (std::uint16_t y = 0; y < mesh.height; ++y) {
+    for (std::uint16_t x = 0; x < mesh.width; ++x) {
+      free_.push_back(noc::NodeId{x, y});
+    }
+  }
+}
+
+Expected<noc::NodeId> VirtualizationManager::AllocateTile() {
+  while (!free_.empty()) {
+    const noc::NodeId tile = free_.back();
+    free_.pop_back();
+    auto t = fabric_->TileAt(tile);
+    if (t.ok() && !(*t)->failed()) return tile;
+    // A failed tile is dropped from the pool entirely.
+  }
+  return CapacityExceeded("no free healthy tiles");
+}
+
+Status VirtualizationManager::LoadStage(const VirtualFunction& fn,
+                                        std::size_t stage,
+                                        noc::NodeId tile) {
+  auto t = fabric_->TileAt(tile);
+  if (!t.ok()) return t.status();
+  return (*t)->micro_unit(0).LoadProgram(specs_.at(fn.name).stages[stage]);
+}
+
+Expected<VirtualFunction> VirtualizationManager::Instantiate(
+    const VirtualFunctionSpec& spec) {
+  if (spec.name.empty()) return InvalidArgument("function name empty");
+  if (spec.stages.empty()) return InvalidArgument("function has no stages");
+  if (functions_.contains(spec.name)) {
+    return AlreadyExists("function '" + spec.name + "' exists");
+  }
+  if (spec.stages.size() > free_.size()) {
+    return CapacityExceeded("not enough free tiles");
+  }
+
+  VirtualFunction fn;
+  fn.name = spec.name;
+  fn.stream_id = next_stream_++;
+  fn.partition = next_partition_++;
+  specs_[spec.name] = spec;
+
+  for (std::size_t i = 0; i < spec.stages.size(); ++i) {
+    auto tile = AllocateTile();
+    if (!tile.ok()) {
+      // Return what we grabbed.
+      for (noc::NodeId t : fn.tiles) free_.push_back(t);
+      specs_.erase(spec.name);
+      return tile.status();
+    }
+    fn.tiles.push_back(*tile);
+  }
+  for (std::size_t i = 0; i < fn.tiles.size(); ++i) {
+    fabric_->partitions().Assign(fn.tiles[i], fn.partition);
+    if (Status s = LoadStage(fn, i, fn.tiles[i]); !s.ok()) return s;
+  }
+  if (Status s = fabric_->ConfigureStream(fn.stream_id, fn.tiles, spec.qos);
+      !s.ok()) {
+    return s;
+  }
+  functions_[spec.name] = fn;
+  return fn;
+}
+
+Status VirtualizationManager::Destroy(const std::string& name) {
+  const auto it = functions_.find(name);
+  if (it == functions_.end()) return NotFound("function");
+  for (noc::NodeId tile : it->second.tiles) {
+    free_.push_back(tile);
+    fabric_->partitions().Assign(tile,
+                                 security::PartitionManager::kUnassigned);
+  }
+  functions_.erase(it);
+  specs_.erase(name);
+  return Status::Ok();
+}
+
+Status VirtualizationManager::Invoke(const std::string& name,
+                                     std::vector<double> payload) {
+  const auto it = functions_.find(name);
+  if (it == functions_.end()) return NotFound("function");
+  return fabric_->InjectData(it->second.stream_id, std::move(payload));
+}
+
+Status VirtualizationManager::SetSink(const std::string& name,
+                                      arch::Fabric::Sink sink) {
+  const auto it = functions_.find(name);
+  if (it == functions_.end()) return NotFound("function");
+  return fabric_->SetStreamSink(it->second.stream_id, std::move(sink));
+}
+
+Status VirtualizationManager::GrantChain(const std::string& from,
+                                         const std::string& to) {
+  const auto f = functions_.find(from);
+  const auto t = functions_.find(to);
+  if (f == functions_.end() || t == functions_.end()) {
+    return NotFound("function");
+  }
+  fabric_->partitions().GrantFlow(f->second.partition, t->second.partition);
+  return Status::Ok();
+}
+
+Expected<int> VirtualizationManager::MigrateOff(noc::NodeId failed_tile) {
+  int migrated = 0;
+  // The dead tile never returns to the pool.
+  std::erase(free_, failed_tile);
+  for (auto& [name, fn] : functions_) {
+    for (std::size_t i = 0; i < fn.tiles.size(); ++i) {
+      if (!(fn.tiles[i] == failed_tile)) continue;
+      auto replacement = AllocateTile();
+      if (!replacement.ok()) return replacement.status();
+      fn.tiles[i] = *replacement;
+      fabric_->partitions().Assign(*replacement, fn.partition);
+      if (Status s = LoadStage(fn, i, *replacement); !s.ok()) return s;
+      if (Status s = fabric_->RedirectStream(fn.stream_id, fn.tiles);
+          !s.ok()) {
+        return s;
+      }
+      ++migrated;
+      break;
+    }
+  }
+  return migrated;
+}
+
+const VirtualFunction* VirtualizationManager::Find(
+    const std::string& name) const {
+  const auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+}  // namespace cim::runtime

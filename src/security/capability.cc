@@ -1,0 +1,56 @@
+#include "security/capability.h"
+
+namespace cim::security {
+
+std::uint64_t CapabilityAuthority::Seal(const Capability& cap) const {
+  // Keyed mix of all fields (splitmix-style finalizer).
+  std::uint64_t h = key_;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+  };
+  mix(cap.partition);
+  mix(cap.base);
+  mix(cap.length);
+  mix(cap.permissions);
+  // Never produce the reserved "unsealed" value.
+  return h == 0 ? 1 : h;
+}
+
+Expected<Capability> CapabilityAuthority::Attenuate(
+    const Capability& parent, std::uint64_t base, std::uint64_t length,
+    std::uint8_t permissions) const {
+  if (parent.seal != Seal(parent)) {
+    return PermissionDenied("parent capability seal invalid");
+  }
+  if (base < parent.base || base + length > parent.base + parent.length) {
+    return PermissionDenied("attenuated bounds exceed parent bounds");
+  }
+  if ((permissions & ~parent.permissions) != 0) {
+    return PermissionDenied("attenuation cannot add permissions");
+  }
+  Capability child{parent.partition, base, length, permissions, 0};
+  child.seal = Seal(child);
+  return child;
+}
+
+Status CapabilityAuthority::CheckAccess(const Capability& cap,
+                                        std::uint64_t address,
+                                        std::uint64_t size,
+                                        Permission needed) const {
+  if (cap.seal == 0 || cap.seal != Seal(cap)) {
+    return PermissionDenied("capability seal invalid (forged or modified)");
+  }
+  if (!cap.Has(needed)) {
+    return PermissionDenied("capability lacks required permission");
+  }
+  if (address < cap.base || size > cap.length ||
+      address - cap.base > cap.length - size) {
+    return PermissionDenied("access outside capability bounds");
+  }
+  return Status::Ok();
+}
+
+}  // namespace cim::security

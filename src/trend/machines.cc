@@ -1,0 +1,51 @@
+#include "trend/machines.h"
+
+#include <array>
+#include <cmath>
+
+namespace cim::trend {
+namespace {
+
+// year, machine, peak flop/s, memory bandwidth bytes/s.
+constexpr std::array<MachineRecord, 18> kMachines{{
+    {1945, "EDVAC", 1.0e3, 1.0e3},
+    {1951, "UNIVAC I", 2.0e3, 2.4e3},
+    {1955, "IBM 704", 1.2e4, 2.0e4},
+    {1964, "CDC 6600", 3.0e6, 4.0e6},
+    {1969, "CDC 7600", 3.6e7, 3.6e7},
+    {1976, "Cray-1", 1.6e8, 6.4e8},
+    {1982, "Cray X-MP", 4.0e8, 1.2e9},
+    {1988, "Cray Y-MP", 2.7e9, 5.4e9},
+    {1993, "CM-5 (1k nodes)", 1.3e11, 1.3e11},
+    {1997, "ASCI Red", 1.8e12, 6.0e11},
+    {2002, "Earth Simulator", 4.1e13, 1.3e13},
+    {2005, "BlueGene/L", 3.6e14, 5.5e13},
+    {2008, "Roadrunner", 1.4e15, 1.0e14},
+    {2011, "K computer", 1.1e16, 5.5e14},
+    {2012, "Titan", 2.7e16, 7.0e14},
+    {2013, "Tianhe-2", 5.5e16, 1.4e15},
+    {2016, "Sunway TaihuLight", 1.3e17, 5.6e15},
+    {2018, "Summit", 2.0e17, 1.1e15},  // DDR4 main-memory aggregate
+}};
+
+}  // namespace
+
+std::span<const MachineRecord> HistoricalMachines() { return kMachines; }
+
+double BytesPerFlopDecadalSlope(std::span<const MachineRecord> machines) {
+  if (machines.size() < 2) return 0.0;
+  // Least squares of y = log10(bytes/flop) against x = year/10.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  const double n = static_cast<double>(machines.size());
+  for (const MachineRecord& m : machines) {
+    const double x = m.year / 10.0;
+    const double y = std::log10(m.bytes_per_flop());
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+}  // namespace cim::trend

@@ -1,0 +1,38 @@
+// Fig 2 dataset: memory bandwidth per floating-point operation over the
+// history of computing, 1945-2018. The figure's content is the steady fall
+// of the bytes/flop ratio from ~1 (all of memory available at processor
+// speed) to three-plus orders of magnitude lower — the imbalance CIM
+// reverses.
+//
+// Entries are public specifications of representative machines (peak
+// floating-point rate and peak main-memory bandwidth of one node/system as
+// commonly reported). The trend, not any individual datum, is the result.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace cim::trend {
+
+struct MachineRecord {
+  int year;
+  std::string_view name;
+  double peak_flops;            // flop/s (additions counted for pre-FPU era)
+  double memory_bandwidth_bps;  // bytes/s
+
+  [[nodiscard]] double bytes_per_flop() const {
+    return memory_bandwidth_bps / peak_flops;
+  }
+};
+
+// Chronologically ordered historical dataset.
+[[nodiscard]] std::span<const MachineRecord> HistoricalMachines();
+
+// Least-squares slope of log10(bytes/flop) per decade — the headline rate
+// of decline Fig 2 shows.
+[[nodiscard]] double BytesPerFlopDecadalSlope(
+    std::span<const MachineRecord> machines);
+
+}  // namespace cim::trend

@@ -1,0 +1,93 @@
+// Table 2 workload suite: the 14 application classes the paper scores for
+// CIM suitability, each characterized along the table's six axes and backed
+// by a synthetic kernel generator that exposes those characteristics as an
+// executable trace (operation counts, bytes, messages).
+//
+// This is the substitution for production application measurements: the
+// paper's own table is built from exactly these characteristics, so
+// generators parameterized by them exercise the same scoring path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace cim::workloads {
+
+enum class Level : std::uint8_t { kLow = 0, kMedium, kHigh };
+[[nodiscard]] std::string LevelName(Level level);
+[[nodiscard]] double LevelValue(Level level);  // 0.0 / 0.5 / 1.0
+
+enum class AppClass : std::uint8_t {
+  kMachineLearning = 0,
+  kNeuralNetworks,
+  kGraphProblems,
+  kBayesianInference,
+  kMarkovChain,
+  kKeyValueStore,
+  kDatabaseAnalytics,
+  kDatabaseTransactions,
+  kSearchIndexing,
+  kOptimization,
+  kScientificComputing,
+  kFiniteElementModelling,
+  kCollaborative,
+  kSignalProcessing,
+};
+inline constexpr int kAppClassCount = 14;
+[[nodiscard]] std::string AppClassName(AppClass app);
+
+// The six characteristic axes of Table 2.
+struct Characteristics {
+  Level compute_intensity = Level::kLow;
+  Level data_bandwidth = Level::kLow;
+  Level data_size = Level::kLow;
+  Level operational_intensity = Level::kLow;  // flop/byte temporal locality
+  Level communication = Level::kLow;          // iterative messaging
+  Level parallelism = Level::kLow;            // independence of work
+};
+
+// The paper's published characterization of each class (Table 2 rows).
+[[nodiscard]] Characteristics CharacteristicsOf(AppClass app);
+
+// The paper's published CIM suitability column (ground truth to reproduce).
+[[nodiscard]] Level PaperCimSuitability(AppClass app);
+
+// Suitability scoring: §Appendix A — "CIM benefits from applications
+// characterized by low computation, high data, high operational intensity,
+// low communication, and high parallelism."
+[[nodiscard]] double CimSuitabilityScore(const Characteristics& c);
+[[nodiscard]] Level ScoreToLevel(double score);
+
+// ---------------------------------------------------------------------------
+// Executable kernel traces.
+// ---------------------------------------------------------------------------
+
+// One synthetic work quantum of an application class.
+struct KernelTrace {
+  std::uint64_t arithmetic_ops = 0;   // scalar compute
+  std::uint64_t mvm_macs = 0;         // dot-product-shaped work (CIM-friendly)
+  double unique_bytes = 0.0;          // working-set touched
+  double streamed_bytes = 0.0;        // total bytes moved
+  std::uint64_t messages = 0;         // synchronizing messages (iterative)
+  double parallel_fraction = 1.0;     // Amdahl-style
+};
+
+// Generate a trace whose shape matches the class characteristics; `scale`
+// multiplies the working set (1.0 ~ tens of MB).
+[[nodiscard]] KernelTrace GenerateTrace(AppClass app, double scale, Rng& rng);
+
+// Cost of running a trace on a CIM fabric vs a von Neumann machine, derived
+// from the trace shape (simple machine models shared by the Table 2 bench).
+struct TraceCost {
+  double latency_ns = 0.0;
+  double energy_pj = 0.0;
+};
+[[nodiscard]] TraceCost CostOnCim(const KernelTrace& trace);
+[[nodiscard]] TraceCost CostOnVonNeumann(const KernelTrace& trace);
+
+}  // namespace cim::workloads

@@ -1,0 +1,191 @@
+// Tests for micro-unit programs, serialization, and execution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "arch/micro_unit.h"
+#include "arch/program.h"
+
+namespace cim::arch {
+namespace {
+
+MicroUnitParams DefaultParams() { return MicroUnitParams{}; }
+
+crossbar::MvmEngineParams QuietEngine() {
+  crossbar::MvmEngineParams p;
+  p.array.rows = 16;
+  p.array.cols = 16;
+  p.array.cell.read_noise_sigma = 0.0;
+  p.array.cell.write_noise_sigma = 0.0;
+  p.array.cell.endurance_cycles = 0;
+  p.array.cell.drift_nu = 0.0;
+  p.array.ir_drop_alpha = 0.0;
+  p.array.adc.bits = 12;
+  return p;
+}
+
+TEST(ProgramSerdesTest, RoundTrip) {
+  const Program program{{OpCode::kMulScalar, 2.5},
+                        {OpCode::kAddScalar, -1.0},
+                        {OpCode::kRelu, 0.0},
+                        {OpCode::kStoreLocal, 2.0}};
+  const auto bytes = SerializeProgram(program);
+  auto decoded = DeserializeProgram(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, program);
+}
+
+TEST(ProgramSerdesTest, RejectsTruncatedAndCorrupt) {
+  const auto bytes = SerializeProgram({{OpCode::kRelu, 0.0}});
+  auto truncated = DeserializeProgram(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size() - 1));
+  EXPECT_FALSE(truncated.ok());
+  auto corrupt = bytes;
+  corrupt[4] = 0xFF;  // invalid opcode
+  EXPECT_EQ(DeserializeProgram(corrupt).status().code(),
+            ErrorCode::kDataCorruption);
+  EXPECT_FALSE(DeserializeProgram(std::vector<std::uint8_t>{}).ok());
+}
+
+TEST(VectorSerdesTest, RoundTrip) {
+  const std::vector<double> values{1.5, -2.25, 0.0, 1e-9, 1e12};
+  auto decoded = DeserializeVector(SerializeVector(values));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, values);
+}
+
+TEST(VectorSerdesTest, EmptyVector) {
+  auto decoded = DeserializeVector(SerializeVector(std::vector<double>{}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(MicroUnitTest, ScalarPipeline) {
+  auto mu = MicroUnit::Create(DefaultParams());
+  ASSERT_TRUE(mu.ok());
+  ASSERT_TRUE(mu->LoadProgram({{OpCode::kMulScalar, 3.0},
+                               {OpCode::kAddScalar, 1.0},
+                               {OpCode::kRelu, 0.0}})
+                  .ok());
+  auto out = mu->Execute(std::vector<double>{1.0, -2.0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[0], 4.0);   // 1*3+1
+  EXPECT_DOUBLE_EQ((*out)[1], 0.0);   // relu(-5)
+}
+
+TEST(MicroUnitTest, SigmoidAndClamp) {
+  auto mu = MicroUnit::Create(DefaultParams());
+  ASSERT_TRUE(mu.ok());
+  ASSERT_TRUE(mu->LoadProgram({{OpCode::kSigmoid, 0.0}}).ok());
+  auto out = mu->Execute(std::vector<double>{0.0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[0], 0.5);
+  ASSERT_TRUE(mu->LoadProgram({{OpCode::kClamp01, 0.0}}).ok());
+  auto clamped = mu->Execute(std::vector<double>{-3.0, 0.4, 7.0});
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_DOUBLE_EQ((*clamped)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*clamped)[1], 0.4);
+  EXPECT_DOUBLE_EQ((*clamped)[2], 1.0);
+}
+
+TEST(MicroUnitTest, LocalSlotsPersistAcrossExecutions) {
+  auto mu = MicroUnit::Create(DefaultParams());
+  ASSERT_TRUE(mu.ok());
+  ASSERT_TRUE(mu->LoadProgram({{OpCode::kStoreLocal, 1.0}}).ok());
+  ASSERT_TRUE(mu->Execute(std::vector<double>{9.0, 8.0}).ok());
+  // New program reads back the stored state (persistence, §II.B).
+  ASSERT_TRUE(mu->LoadProgram({{OpCode::kLoadLocal, 1.0}}).ok());
+  auto out = mu->Execute(std::vector<double>{0.0, 0.0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, (std::vector<double>{9.0, 8.0}));
+}
+
+TEST(MicroUnitTest, AddLocalAccumulates) {
+  auto mu = MicroUnit::Create(DefaultParams());
+  ASSERT_TRUE(mu.ok());
+  ASSERT_TRUE(mu->WriteSlot(0, std::vector<double>{1.0, 2.0}).ok());
+  ASSERT_TRUE(mu->LoadProgram({{OpCode::kAddLocal, 0.0}}).ok());
+  auto out = mu->Execute(std::vector<double>{10.0, 20.0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, (std::vector<double>{11.0, 22.0}));
+}
+
+TEST(MicroUnitTest, MvmOpUsesConfiguredEngine) {
+  auto mu = MicroUnit::Create(DefaultParams());
+  ASSERT_TRUE(mu.ok());
+  // 2x2 identity-ish matrix (0.5 diagonal).
+  const std::vector<double> weights{0.5, 0.0, 0.0, 0.5};
+  ASSERT_TRUE(mu->ConfigureMvm(QuietEngine(), 2, 2, weights, Rng(3)).ok());
+  ASSERT_TRUE(mu->LoadProgram({{OpCode::kMvm, 0.0}}).ok());
+  auto out = mu->Execute(std::vector<double>{1.0, 0.5});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR((*out)[0], 0.5, 0.1);
+  EXPECT_NEAR((*out)[1], 0.25, 0.1);
+}
+
+TEST(MicroUnitTest, MvmWithoutEngineFails) {
+  auto mu = MicroUnit::Create(DefaultParams());
+  ASSERT_TRUE(mu.ok());
+  ASSERT_TRUE(mu->LoadProgram({{OpCode::kMvm, 0.0}}).ok());
+  EXPECT_EQ(mu->Execute(std::vector<double>{1.0}).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(MicroUnitTest, ProgramFromBytes) {
+  auto mu = MicroUnit::Create(DefaultParams());
+  ASSERT_TRUE(mu.ok());
+  const Program program{{OpCode::kAddScalar, 5.0}};
+  ASSERT_TRUE(mu->LoadProgramBytes(SerializeProgram(program)).ok());
+  auto out = mu->Execute(std::vector<double>{1.0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[0], 6.0);
+  // Garbage bytes rejected.
+  EXPECT_FALSE(mu->LoadProgramBytes(std::vector<std::uint8_t>{1, 2}).ok());
+}
+
+TEST(MicroUnitTest, FailedUnitRefusesWork) {
+  auto mu = MicroUnit::Create(DefaultParams());
+  ASSERT_TRUE(mu.ok());
+  ASSERT_TRUE(mu->LoadProgram({{OpCode::kNop, 0.0}}).ok());
+  mu->SetFailed(true);
+  EXPECT_EQ(mu->Execute(std::vector<double>{1.0}).status().code(),
+            ErrorCode::kUnavailable);
+  EXPECT_EQ(mu->LoadProgram({}).code(), ErrorCode::kUnavailable);
+  mu->SetFailed(false);
+  EXPECT_TRUE(mu->Execute(std::vector<double>{1.0}).ok());
+}
+
+TEST(MicroUnitTest, CostAccumulates) {
+  auto mu = MicroUnit::Create(DefaultParams());
+  ASSERT_TRUE(mu.ok());
+  ASSERT_TRUE(mu->LoadProgram({{OpCode::kAddScalar, 1.0},
+                               {OpCode::kMulScalar, 2.0}})
+                  .ok());
+  const CostReport before = mu->lifetime_cost();
+  ASSERT_TRUE(mu->Execute(std::vector<double>(8, 1.0)).ok());
+  const CostReport after = mu->lifetime_cost();
+  EXPECT_GT(after.energy_pj, before.energy_pj);
+  EXPECT_EQ(after.operations - before.operations, 16u);  // 2 ops x 8 elems
+}
+
+TEST(MicroUnitTest, InputSizeGuard) {
+  MicroUnitParams params;
+  params.max_vector_len = 4;
+  auto mu = MicroUnit::Create(params);
+  ASSERT_TRUE(mu.ok());
+  ASSERT_TRUE(mu->LoadProgram({}).ok());
+  EXPECT_FALSE(mu->Execute(std::vector<double>(5, 0.0)).ok());
+}
+
+TEST(MicroUnitTest, SlotBoundsChecked) {
+  auto mu = MicroUnit::Create(DefaultParams());
+  ASSERT_TRUE(mu.ok());
+  EXPECT_FALSE(mu->ReadSlot(99).ok());
+  EXPECT_FALSE(mu->WriteSlot(99, std::vector<double>{1.0}).ok());
+  ASSERT_TRUE(mu->LoadProgram({{OpCode::kLoadLocal, 99.0}}).ok());
+  EXPECT_FALSE(mu->Execute(std::vector<double>{1.0}).ok());
+}
+
+}  // namespace
+}  // namespace cim::arch

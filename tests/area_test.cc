@@ -1,0 +1,51 @@
+// Tests for the DPE silicon area model.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dpe/area.h"
+
+namespace cim::dpe {
+namespace {
+
+TEST(AreaTest, ArrayAreaInTheIsaacEnvelope) {
+  AreaModel model;
+  const double um2 = model.ArrayAreaUm2();
+  // Periphery-dominated: thousands of um^2, far above the bare crossbar.
+  EXPECT_GT(um2, 3000.0);
+  EXPECT_LT(um2, 20000.0);
+  // A full ISAAC-class board of arrays lands at tens of mm^2.
+  const double chip = model.ChipAreaMm2(8192);
+  EXPECT_GT(chip, 20.0);
+  EXPECT_LT(chip, 200.0);
+}
+
+TEST(AreaTest, AdcDominatesAndScalesWithBits) {
+  DpeParams wide = DpeParams::Isaac();
+  wide.array.adc.bits = 12;
+  AreaModel coarse;                 // 8-bit ADC
+  AreaModel fine(AreaParams{}, wide);
+  // Four extra ADC bits cost ~16x ADC area; the array total grows several
+  // times.
+  EXPECT_GT(fine.ArrayAreaUm2(), 3.0 * coarse.ArrayAreaUm2());
+}
+
+TEST(AreaTest, NetworkAreaTracksArrayDemand) {
+  AreaModel model;
+  Rng rng(1);
+  auto small = model.NetworkAreaMm2(nn::BuildMlp("s", {64, 32}, rng));
+  auto large =
+      model.NetworkAreaMm2(nn::BuildMlp("l", {2048, 4096, 1024}, rng));
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(*large, 20.0 * *small);
+  EXPECT_GT(*small, 0.0);
+}
+
+TEST(AreaTest, InvalidNetworkPropagatesError) {
+  AreaModel model;
+  nn::Network broken;
+  EXPECT_FALSE(model.NetworkAreaMm2(broken).ok());
+}
+
+}  // namespace
+}  // namespace cim::dpe

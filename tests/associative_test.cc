@@ -1,0 +1,115 @@
+// Tests for the TCAM / associative-processor engine (§III.A family 3).
+#include <gtest/gtest.h>
+
+#include "logic/associative.h"
+
+namespace cim::logic {
+namespace {
+
+TcamParams SmallTcam(std::size_t rows = 16, std::size_t width = 16) {
+  TcamParams p;
+  p.rows = rows;
+  p.width_bits = width;
+  return p;
+}
+
+TEST(TcamTest, CreateValidation) {
+  EXPECT_TRUE(TcamArray::Create(SmallTcam()).ok());
+  TcamParams bad = SmallTcam(0, 8);
+  EXPECT_FALSE(TcamArray::Create(bad).ok());
+  bad = SmallTcam(8, 2000);
+  EXPECT_FALSE(TcamArray::Create(bad).ok());
+}
+
+TEST(TcamTest, ExactMatchSearch) {
+  auto tcam = TcamArray::Create(SmallTcam());
+  ASSERT_TRUE(tcam.ok());
+  ASSERT_TRUE(tcam->WriteRowBits(0, 0xABCD, 0xFFFF).ok());
+  ASSERT_TRUE(tcam->WriteRowBits(1, 0x1234, 0xFFFF).ok());
+  ASSERT_TRUE(tcam->WriteRowBits(5, 0xABCD, 0xFFFF).ok());
+
+  const SearchResult hit = tcam->SearchBits(0xABCD);
+  EXPECT_EQ(hit.matches, (std::vector<std::size_t>{0, 5}));
+  const SearchResult miss = tcam->SearchBits(0x9999);
+  EXPECT_TRUE(miss.matches.empty());
+}
+
+TEST(TcamTest, DontCareBitsMatchAnything) {
+  auto tcam = TcamArray::Create(SmallTcam());
+  ASSERT_TRUE(tcam.ok());
+  // Row matches any key whose low byte is 0x34 (high byte masked out).
+  ASSERT_TRUE(tcam->WriteRowBits(2, 0x0034, 0x00FF).ok());
+  EXPECT_EQ(tcam->SearchBits(0x1234).matches.size(), 1u);
+  EXPECT_EQ(tcam->SearchBits(0xFF34).matches.size(), 1u);
+  EXPECT_TRUE(tcam->SearchBits(0x1233).matches.empty());
+}
+
+TEST(TcamTest, InvalidRowsNeverMatch) {
+  auto tcam = TcamArray::Create(SmallTcam());
+  ASSERT_TRUE(tcam.ok());
+  // Unwritten rows must not match, even though their cells default to
+  // don't-care.
+  EXPECT_TRUE(tcam->SearchBits(0x0000).matches.empty());
+  ASSERT_TRUE(tcam->WriteRowBits(3, 0x1, 0xFFFF).ok());
+  ASSERT_TRUE(tcam->ClearRow(3).ok());
+  EXPECT_TRUE(tcam->SearchBits(0x1).matches.empty());
+}
+
+TEST(TcamTest, SearchIsOneCycleRegardlessOfRowCount) {
+  auto small = TcamArray::Create(SmallTcam(4, 16));
+  auto large = TcamArray::Create(SmallTcam(256, 16));
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  const SearchResult a = small->SearchBits(0x1);
+  const SearchResult b = large->SearchBits(0x1);
+  EXPECT_DOUBLE_EQ(a.cost.latency_ns, b.cost.latency_ns);
+  // Energy, however, scales with the cells that participate.
+  EXPECT_GT(b.cost.energy_pj, 10.0 * a.cost.energy_pj);
+}
+
+TEST(TcamTest, AssociativeWriteUpdatesAllMatches) {
+  auto tcam = TcamArray::Create(SmallTcam(8, 16));
+  ASSERT_TRUE(tcam.ok());
+  // Tag field in bits [0,8), value field in bits [8,16).
+  for (std::size_t r = 0; r < 4; ++r) {
+    ASSERT_TRUE(tcam->WriteRowBits(r, (r % 2 == 0) ? 0x07 : 0x09, 0x00FF)
+                    .ok());
+  }
+  const SearchResult matches = tcam->SearchBits(0x0007);
+  // Key 0x0007 has value-field bits 0; rows with tag 7 and don't-care
+  // value field match.
+  ASSERT_EQ(matches.matches.size(), 2u);
+  ASSERT_TRUE(tcam->WriteToMatches(matches, 8, 0x5A, 8).ok());
+  // Now rows 0 and 2 have value 0x5A: searching tag 7 + value 0x5A finds
+  // them.
+  std::vector<Ternary> probe(16, Ternary::kDontCare);
+  for (int b = 0; b < 8; ++b) {
+    probe[b] = ((0x07 >> b) & 1) ? Ternary::kOne : Ternary::kZero;
+  }
+  for (int b = 0; b < 8; ++b) {
+    probe[8 + b] = ((0x5A >> b) & 1) ? Ternary::kOne : Ternary::kZero;
+  }
+  EXPECT_EQ(tcam->Search(probe).matches,
+            (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(TcamTest, WriteToMatchesValidation) {
+  auto tcam = TcamArray::Create(SmallTcam(4, 16));
+  ASSERT_TRUE(tcam.ok());
+  SearchResult empty;
+  EXPECT_FALSE(tcam->WriteToMatches(empty, 10, 0xFF, 8).ok());  // overflow
+  EXPECT_FALSE(tcam->WriteToMatches(empty, 0, 0, 0).ok());
+  EXPECT_TRUE(tcam->WriteToMatches(empty, 0, 0xF, 4).ok());
+}
+
+TEST(TcamTest, BoundsChecked) {
+  auto tcam = TcamArray::Create(SmallTcam(4, 8));
+  ASSERT_TRUE(tcam.ok());
+  EXPECT_FALSE(tcam->WriteRowBits(9, 0, 0).ok());
+  EXPECT_FALSE(tcam->ClearRow(9).ok());
+  std::vector<Ternary> wrong(4, Ternary::kZero);
+  EXPECT_FALSE(tcam->WriteRow(0, wrong).ok());
+}
+
+}  // namespace
+}  // namespace cim::logic

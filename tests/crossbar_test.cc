@@ -1,0 +1,247 @@
+// Unit tests for the analog crossbar array and its periphery models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "crossbar/adc.h"
+#include "crossbar/crossbar.h"
+
+namespace cim::crossbar {
+namespace {
+
+CrossbarParams QuietParams(std::size_t rows = 16, std::size_t cols = 16) {
+  CrossbarParams p;
+  p.rows = rows;
+  p.cols = cols;
+  p.cell.read_noise_sigma = 0.0;
+  p.cell.write_noise_sigma = 0.0;
+  p.cell.endurance_cycles = 0;
+  p.cell.drift_nu = 0.0;
+  p.ir_drop_alpha = 0.0;
+  p.adc.bits = 12;  // fine quantization for correctness tests
+  return p;
+}
+
+TEST(AdcTest, EncodeDecodeRoundtrip) {
+  AdcParams adc;
+  adc.bits = 8;
+  const double fs = 1e-3;
+  for (double frac : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    const double current = frac * fs;
+    const double decoded = adc.Decode(adc.Encode(current, fs), fs);
+    EXPECT_NEAR(decoded, current, fs / 255.0);
+  }
+}
+
+TEST(AdcTest, ClampsOutOfRange) {
+  AdcParams adc;
+  adc.bits = 4;
+  EXPECT_EQ(adc.Encode(-1.0, 1.0), 0u);
+  EXPECT_EQ(adc.Encode(2.0, 1.0), 15u);
+}
+
+TEST(AdcTest, EnergyScalesExponentiallyWithBits) {
+  AdcParams a8;
+  a8.bits = 8;
+  AdcParams a10;
+  a10.bits = 10;
+  EXPECT_NEAR(a10.conversion_energy().pj / a8.conversion_energy().pj, 4.0,
+              1e-9);
+}
+
+TEST(DacTest, OneBitLevels) {
+  DacParams dac;
+  EXPECT_DOUBLE_EQ(dac.LevelVoltage(0), 0.0);
+  EXPECT_DOUBLE_EQ(dac.LevelVoltage(1), dac.v_read);
+}
+
+TEST(CrossbarParamsTest, Validation) {
+  EXPECT_TRUE(QuietParams().Validate().ok());
+  CrossbarParams p = QuietParams();
+  p.rows = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = QuietParams();
+  p.columns_per_adc = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = QuietParams();
+  p.ir_drop_alpha = 1.0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(CrossbarTest, CreateRejectsBadParams) {
+  CrossbarParams p = QuietParams();
+  p.rows = 0;
+  EXPECT_FALSE(Crossbar::Create(p, Rng(1)).ok());
+}
+
+TEST(CrossbarTest, ProgramRejectsWrongSizeAndRange) {
+  auto xbar = Crossbar::Create(QuietParams(4, 4), Rng(1));
+  ASSERT_TRUE(xbar.ok());
+  std::vector<std::uint64_t> too_small(8, 0);
+  EXPECT_EQ(xbar->ProgramLevels(too_small).status().code(),
+            ErrorCode::kInvalidArgument);
+  std::vector<std::uint64_t> out_of_range(16, 99);
+  EXPECT_EQ(xbar->ProgramLevels(out_of_range).status().code(),
+            ErrorCode::kOutOfRange);
+}
+
+TEST(CrossbarTest, CycleRejectsWrongDrive) {
+  auto xbar = Crossbar::Create(QuietParams(4, 4), Rng(1));
+  ASSERT_TRUE(xbar.ok());
+  std::vector<std::uint64_t> levels(16, 1);
+  ASSERT_TRUE(xbar->ProgramLevels(levels).ok());
+  std::vector<std::uint64_t> wrong_size(3, 0);
+  EXPECT_FALSE(xbar->Cycle(wrong_size).ok());
+  std::vector<std::uint64_t> bad_code(4, 7);  // 1-bit DAC
+  EXPECT_EQ(xbar->Cycle(bad_code).status().code(), ErrorCode::kOutOfRange);
+}
+
+TEST(CrossbarTest, SensedCurrentsMatchIdealWithinAdcStep) {
+  const CrossbarParams p = QuietParams(8, 8);
+  auto xbar = Crossbar::Create(p, Rng(2));
+  ASSERT_TRUE(xbar.ok());
+  Rng level_rng(3);
+  std::vector<std::uint64_t> levels(64);
+  for (auto& level : levels) level = level_rng.NextBounded(p.cell.levels());
+  ASSERT_TRUE(xbar->ProgramLevels(levels).ok());
+
+  std::vector<std::uint64_t> drive(8);
+  for (auto& d : drive) d = level_rng.NextBounded(2);
+  auto cycle = xbar->Cycle(drive);
+  ASSERT_TRUE(cycle.ok());
+  const std::vector<double> ideal = xbar->IdealColumnCurrents(drive);
+  const double lsb = xbar->FullScaleCurrent() /
+                     static_cast<double>((1ULL << p.adc.bits) - 1);
+  for (std::size_t c = 0; c < 8; ++c) {
+    const double sensed =
+        p.adc.Decode(cycle->column_codes[c], xbar->FullScaleCurrent());
+    EXPECT_NEAR(sensed, ideal[c], lsb);
+  }
+}
+
+TEST(CrossbarTest, AllRowsActiveGivesMaxCurrentOnFullyOnColumn) {
+  CrossbarParams p = QuietParams(8, 2);
+  auto xbar = Crossbar::Create(p, Rng(4));
+  ASSERT_TRUE(xbar.ok());
+  // Column 0 fully on, column 1 fully off.
+  std::vector<std::uint64_t> levels(16, 0);
+  for (std::size_t r = 0; r < 8; ++r) levels[r * 2] = p.cell.levels() - 1;
+  ASSERT_TRUE(xbar->ProgramLevels(levels).ok());
+  std::vector<std::uint64_t> drive(8, 1);
+  auto cycle = xbar->Cycle(drive);
+  ASSERT_TRUE(cycle.ok());
+  const std::uint64_t max_code = (1ULL << p.adc.bits) - 1;
+  EXPECT_EQ(cycle->column_codes[0], max_code);
+  EXPECT_LT(cycle->column_codes[1], max_code / 100);
+}
+
+TEST(CrossbarTest, IrDropAttenuatesWithActiveRows) {
+  CrossbarParams p = QuietParams(16, 1);
+  p.ir_drop_alpha = 0.2;
+  auto xbar = Crossbar::Create(p, Rng(5));
+  ASSERT_TRUE(xbar.ok());
+  std::vector<std::uint64_t> levels(16, p.cell.levels() - 1);
+  ASSERT_TRUE(xbar->ProgramLevels(levels).ok());
+
+  std::vector<std::uint64_t> one_row(16, 0);
+  one_row[0] = 1;
+  std::vector<std::uint64_t> all_rows(16, 1);
+  auto few = xbar->Cycle(one_row);
+  auto many = xbar->Cycle(all_rows);
+  ASSERT_TRUE(few.ok() && many.ok());
+  const double fs = xbar->FullScaleCurrent();
+  const double sensed_few = p.adc.Decode(few->column_codes[0], fs);
+  const double sensed_many = p.adc.Decode(many->column_codes[0], fs);
+  // With 20% worst-case IR drop, 16 active rows deliver less than 16x the
+  // single-row current.
+  EXPECT_LT(sensed_many, 16.0 * sensed_few * 0.9);
+}
+
+TEST(CrossbarTest, CycleEnergyGrowsWithActiveRows) {
+  const CrossbarParams p = QuietParams(16, 16);
+  auto xbar = Crossbar::Create(p, Rng(6));
+  ASSERT_TRUE(xbar.ok());
+  std::vector<std::uint64_t> levels(256, 1);
+  ASSERT_TRUE(xbar->ProgramLevels(levels).ok());
+  std::vector<std::uint64_t> one(16, 0);
+  one[0] = 1;
+  std::vector<std::uint64_t> all(16, 1);
+  auto cycle_one = xbar->Cycle(one);
+  auto cycle_all = xbar->Cycle(all);
+  ASSERT_TRUE(cycle_one.ok() && cycle_all.ok());
+  EXPECT_GT(cycle_all->cost.energy_pj, cycle_one->cost.energy_pj);
+}
+
+TEST(CrossbarTest, ProgramLatencyDominatedByRowCount) {
+  auto small = Crossbar::Create(QuietParams(4, 16), Rng(7));
+  auto large = Crossbar::Create(QuietParams(16, 16), Rng(7));
+  ASSERT_TRUE(small.ok() && large.ok());
+  std::vector<std::uint64_t> small_levels(64, 1);
+  std::vector<std::uint64_t> large_levels(256, 1);
+  auto small_cost = small->ProgramLevels(small_levels);
+  auto large_cost = large->ProgramLevels(large_levels);
+  ASSERT_TRUE(small_cost.ok() && large_cost.ok());
+  EXPECT_NEAR(large_cost->latency_ns / small_cost->latency_ns, 4.0, 1.0);
+}
+
+TEST(CrossbarTest, FaultInjectionVisibleInCounts) {
+  auto xbar = Crossbar::Create(QuietParams(4, 4), Rng(8));
+  ASSERT_TRUE(xbar.ok());
+  EXPECT_EQ(xbar->CountFaultedCells(), 0u);
+  xbar->InjectCellFault(1, 2, device::CellFault::kStuckOn);
+  xbar->InjectCellFault(3, 3, device::CellFault::kStuckOff);
+  EXPECT_EQ(xbar->CountFaultedCells(), 2u);
+}
+
+TEST(CrossbarTest, StuckOnFaultInflatesColumnCurrent) {
+  const CrossbarParams p = QuietParams(8, 1);
+  auto xbar = Crossbar::Create(p, Rng(9));
+  ASSERT_TRUE(xbar.ok());
+  std::vector<std::uint64_t> levels(8, 0);  // all cells at g_off
+  ASSERT_TRUE(xbar->ProgramLevels(levels).ok());
+  std::vector<std::uint64_t> drive(8, 1);
+  auto clean = xbar->Cycle(drive);
+  xbar->InjectCellFault(0, 0, device::CellFault::kStuckOn);
+  auto faulty = xbar->Cycle(drive);
+  ASSERT_TRUE(clean.ok() && faulty.ok());
+  EXPECT_GT(faulty->column_codes[0], clean->column_codes[0]);
+}
+
+TEST(CrossbarTest, AgingReducesSensedCurrent) {
+  CrossbarParams p = QuietParams(8, 1);
+  p.cell.drift_nu = 0.05;
+  auto xbar = Crossbar::Create(p, Rng(10));
+  ASSERT_TRUE(xbar.ok());
+  std::vector<std::uint64_t> levels(8, p.cell.levels() - 1);
+  ASSERT_TRUE(xbar->ProgramLevels(levels).ok());
+  std::vector<std::uint64_t> drive(8, 1);
+  auto before = xbar->Cycle(drive);
+  xbar->Age(TimeNs::Seconds(100.0));
+  auto after = xbar->Cycle(drive);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_LT(after->column_codes[0], before->column_codes[0]);
+}
+
+TEST(CrossbarTest, MvmCycleLatencyIndependentOfRows) {
+  // The analog MVM is O(1) in array time: latency is periphery-dominated,
+  // not row-count dominated. (This is the physical root of the paper's
+  // bandwidth claim.)
+  auto small = Crossbar::Create(QuietParams(8, 8), Rng(11));
+  auto large = Crossbar::Create(QuietParams(64, 8), Rng(11));
+  ASSERT_TRUE(small.ok() && large.ok());
+  std::vector<std::uint64_t> small_levels(64, 1);
+  std::vector<std::uint64_t> large_levels(512, 1);
+  ASSERT_TRUE(small->ProgramLevels(small_levels).ok());
+  ASSERT_TRUE(large->ProgramLevels(large_levels).ok());
+  auto small_cycle = small->Cycle(std::vector<std::uint64_t>(8, 1));
+  auto large_cycle = large->Cycle(std::vector<std::uint64_t>(64, 1));
+  ASSERT_TRUE(small_cycle.ok() && large_cycle.ok());
+  EXPECT_DOUBLE_EQ(small_cycle->cost.latency_ns,
+                   large_cycle->cost.latency_ns);
+}
+
+}  // namespace
+}  // namespace cim::crossbar

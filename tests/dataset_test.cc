@@ -1,0 +1,114 @@
+// Tests for the synthetic classification dataset utilities.
+#include <gtest/gtest.h>
+
+#include "nn/dataset.h"
+
+namespace cim::nn {
+namespace {
+
+TEST(DatasetTest, Validation) {
+  Rng rng(1);
+  DatasetParams p;
+  p.classes = 1;
+  EXPECT_FALSE(MakeClusterDataset(p, rng).ok());
+  p = DatasetParams{};
+  p.dim = 0;
+  EXPECT_FALSE(MakeClusterDataset(p, rng).ok());
+  p = DatasetParams{};
+  p.cluster_spread = 0.0;
+  EXPECT_FALSE(MakeClusterDataset(p, rng).ok());
+}
+
+TEST(DatasetTest, ShapeAndRange) {
+  Rng rng(2);
+  DatasetParams p;
+  p.dim = 8;
+  p.classes = 3;
+  p.samples_per_class = 10;
+  auto data = MakeClusterDataset(p, rng);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 30u);
+  EXPECT_EQ(data->labels.size(), 30u);
+  for (const auto& sample : data->samples) {
+    ASSERT_EQ(sample.size(), 8u);
+    for (double v : sample) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+  // Balanced labels.
+  std::vector<int> counts(3, 0);
+  for (std::size_t label : data->labels) ++counts[label];
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(DatasetTest, OneHotTargets) {
+  Rng rng(3);
+  DatasetParams p;
+  p.classes = 4;
+  p.samples_per_class = 2;
+  auto data = MakeClusterDataset(p, rng);
+  ASSERT_TRUE(data.ok());
+  const auto targets = OneHotTargets(*data);
+  ASSERT_EQ(targets.size(), data->size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    double sum = 0.0;
+    for (double v : targets[i]) sum += v;
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+    EXPECT_DOUBLE_EQ(targets[i][data->labels[i]], 1.0);
+  }
+}
+
+TEST(DatasetTest, AccuracyMetric) {
+  const std::vector<std::vector<double>> scores{
+      {0.9, 0.1}, {0.2, 0.8}, {0.6, 0.4}};
+  EXPECT_DOUBLE_EQ(Accuracy(scores, {0, 1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(scores, {1, 0, 1}), 0.0);
+  EXPECT_NEAR(Accuracy(scores, {0, 1, 1}), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(DatasetTest, ClustersAreLinearlySeparableEnough) {
+  // A least-squares linear classifier fit in closed form... is overkill;
+  // instead check that nearest-centroid classification (the easiest
+  // possible rule) is near-perfect at the default spread — the property
+  // the accuracy ablation relies on.
+  Rng rng(4);
+  DatasetParams p;
+  auto data = MakeClusterDataset(p, rng);
+  ASSERT_TRUE(data.ok());
+  // Compute class centroids from the data.
+  std::vector<std::vector<double>> centroids(
+      p.classes, std::vector<double>(p.dim, 0.0));
+  std::vector<int> counts(p.classes, 0);
+  for (std::size_t i = 0; i < data->size(); ++i) {
+    for (std::size_t d = 0; d < p.dim; ++d) {
+      centroids[data->labels[i]][d] += data->samples[i][d];
+    }
+    ++counts[data->labels[i]];
+  }
+  for (std::size_t c = 0; c < p.classes; ++c) {
+    for (double& v : centroids[c]) v /= counts[c];
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data->size(); ++i) {
+    std::size_t best = 0;
+    double best_dist = 1e300;
+    for (std::size_t c = 0; c < p.classes; ++c) {
+      double dist = 0.0;
+      for (std::size_t d = 0; d < p.dim; ++d) {
+        const double delta = data->samples[i][d] - centroids[c][d];
+        dist += delta * delta;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    if (best == data->labels[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / data->size(), 0.95);
+}
+
+}  // namespace
+}  // namespace cim::nn

@@ -1,0 +1,268 @@
+// Tests for the DPE: analytical model, behavioural accelerator, functional
+// accuracy against the float golden model, and cross-validation of the two
+// cost models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "dpe/accelerator.h"
+#include "dpe/analytical.h"
+#include "dpe/scaling.h"
+#include "nn/network.h"
+
+namespace cim::dpe {
+namespace {
+
+DpeParams QuietIsaac() {
+  DpeParams p = DpeParams::Isaac();
+  p.array.cell.read_noise_sigma = 0.0;
+  p.array.cell.write_noise_sigma = 0.0;
+  p.array.cell.endurance_cycles = 0;
+  p.array.cell.drift_nu = 0.0;
+  p.array.ir_drop_alpha = 0.0;
+  return p;
+}
+
+nn::Network SmallMlp(Rng& rng) {
+  return nn::BuildMlp("small", {16, 24, 8}, rng, /*scale=*/0.3);
+}
+
+TEST(DpeParamsTest, IsaacDefaultsValidate) {
+  EXPECT_TRUE(DpeParams::Isaac().Validate().ok());
+  EXPECT_EQ(DpeParams::Isaac().slices(), 4);  // 7 magnitude bits / 2
+}
+
+TEST(DpeParamsTest, CycleCostsPositiveAndAdcDominated) {
+  const DpeParams p = DpeParams::Isaac();
+  EXPECT_GT(p.CycleLatencyNs(), 0.0);
+  // At ISAAC geometry the shared ADC dominates cycle latency.
+  EXPECT_GT(128.0 * p.array.adc.conversion_latency().ns,
+            0.5 * p.CycleLatencyNs());
+  EXPECT_GT(p.CycleEnergyPj(128), p.CycleEnergyPj(1));
+}
+
+TEST(AnalyticalModelTest, MapsDenseLayersToTiles) {
+  AnalyticalDpeModel model(QuietIsaac());
+  Rng rng(1);
+  const nn::Network net = nn::BuildMlp("m", {300, 200, 10}, rng);
+  auto mappings = model.MapNetwork(net);
+  ASSERT_TRUE(mappings.ok());
+  ASSERT_EQ(mappings->size(), 2u);
+  // 300 inputs over 128-row arrays -> 3 row tiles; 200 outputs -> 2 col
+  // tiles; x2 planes x4 slices.
+  EXPECT_EQ((*mappings)[0].row_tiles, 3u);
+  EXPECT_EQ((*mappings)[0].col_tiles, 2u);
+  EXPECT_EQ((*mappings)[0].arrays, 3u * 2 * 2 * 4);
+  EXPECT_EQ((*mappings)[1].mvm_invocations, 1u);
+}
+
+TEST(AnalyticalModelTest, ConvMappingCountsPixels) {
+  AnalyticalDpeModel model(QuietIsaac());
+  Rng rng(2);
+  const nn::Network net = nn::BuildCnn("c", 1, 28, 28, 10, rng);
+  auto mappings = model.MapNetwork(net);
+  ASSERT_TRUE(mappings.ok());
+  EXPECT_EQ((*mappings)[0].kind, "conv");
+  EXPECT_EQ((*mappings)[0].mvm_invocations, 28u * 28);
+}
+
+TEST(AnalyticalModelTest, EstimateScalesWithNetworkSize) {
+  AnalyticalDpeModel model(QuietIsaac());
+  Rng rng(3);
+  auto small = model.EstimateInference(nn::BuildMlp("s", {64, 64}, rng));
+  auto large =
+      model.EstimateInference(nn::BuildMlp("l", {1024, 2048, 1024}, rng));
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->energy_pj, small->energy_pj);
+  EXPECT_GT(large->arrays_used, small->arrays_used);
+  EXPECT_GT(large->weight_bytes_touched, small->weight_bytes_touched);
+}
+
+TEST(AnalyticalModelTest, ProgrammingIsTheSlowPath) {
+  AnalyticalDpeModel model(QuietIsaac());
+  Rng rng(4);
+  auto est = model.EstimateInference(nn::BuildMlp("m", {256, 256, 64}, rng));
+  ASSERT_TRUE(est.ok());
+  // Weight programming costs orders of magnitude more latency than one
+  // inference — the asymmetry §VI highlights.
+  EXPECT_GT(est->program_latency_ns, 3.0 * est->latency_ns);
+}
+
+TEST(AcceleratorTest, MatchesGoldenModelOnMlp) {
+  Rng rng(5);
+  const nn::Network net = SmallMlp(rng);
+  auto acc = DpeAccelerator::Create(QuietIsaac(), net, Rng(6));
+  ASSERT_TRUE(acc.ok());
+
+  nn::Tensor input({16});
+  for (auto& v : input.vec()) v = rng.Uniform(0.0, 1.0);
+  auto golden = nn::Forward(net, input);
+  auto analog = (*acc)->Infer(input);
+  ASSERT_TRUE(golden.ok());
+  ASSERT_TRUE(analog.ok());
+  ASSERT_EQ(analog->size(), golden->size());
+  for (std::size_t i = 0; i < golden->size(); ++i) {
+    // 8-bit weights/activations over small layers: coarse but close.
+    EXPECT_NEAR((*analog)[i], (*golden)[i], 0.25)
+        << "output " << i;
+  }
+}
+
+TEST(AcceleratorTest, MatchesGoldenModelOnTinyCnn) {
+  Rng rng(7);
+  const nn::Network net = nn::BuildCnn("tiny", 1, 8, 8, 4, rng);
+  auto acc = DpeAccelerator::Create(QuietIsaac(), net, Rng(8));
+  ASSERT_TRUE(acc.ok());
+  nn::Tensor input({1, 8, 8});
+  for (auto& v : input.vec()) v = rng.Uniform(0.0, 1.0);
+  auto golden = nn::Forward(net, input);
+  auto analog = (*acc)->Infer(input);
+  ASSERT_TRUE(golden.ok());
+  ASSERT_TRUE(analog.ok());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < golden->size(); ++i) {
+    max_err = std::max(max_err, std::fabs((*analog)[i] - (*golden)[i]));
+  }
+  EXPECT_LT(max_err, 0.5);
+}
+
+TEST(AcceleratorTest, CostReportedPerInference) {
+  Rng rng(9);
+  const nn::Network net = SmallMlp(rng);
+  auto acc = DpeAccelerator::Create(QuietIsaac(), net, Rng(10));
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT((*acc)->program_cost().latency_ns, 0.0);
+  nn::Tensor input({16});
+  CostReport cost;
+  ASSERT_TRUE((*acc)->Infer(input, &cost).ok());
+  EXPECT_GT(cost.energy_pj, 0.0);
+  EXPECT_GT(cost.latency_ns, 0.0);
+  // Programming is far slower than inference.
+  EXPECT_GT((*acc)->program_cost().latency_ns, cost.latency_ns);
+}
+
+TEST(AcceleratorTest, AnalyticalModelTracksBehaviouralCosts) {
+  // The analytical estimate and the behavioural accelerator must agree
+  // within a factor of ~2 on both latency and energy (same constants,
+  // different evaluation paths).
+  Rng rng(11);
+  const nn::Network net = nn::BuildMlp("val", {100, 150, 20}, rng, 0.3);
+  const DpeParams params = QuietIsaac();
+  auto acc = DpeAccelerator::Create(params, net, Rng(12));
+  ASSERT_TRUE(acc.ok());
+  AnalyticalDpeModel model(params);
+  auto est = model.EstimateInference(net);
+  ASSERT_TRUE(est.ok());
+
+  nn::Tensor input({100});
+  for (auto& v : input.vec()) v = rng.Uniform(0.0, 1.0);
+  CostReport behavioural;
+  ASSERT_TRUE((*acc)->Infer(input, &behavioural).ok());
+
+  EXPECT_LT(std::fabs(std::log2(est->latency_ns /
+                                behavioural.latency_ns)),
+            1.0)
+      << "analytical " << est->latency_ns << " vs behavioural "
+      << behavioural.latency_ns;
+  EXPECT_LT(std::fabs(std::log2(est->energy_pj / behavioural.energy_pj)),
+            1.0)
+      << "analytical " << est->energy_pj << " vs behavioural "
+      << behavioural.energy_pj;
+  EXPECT_EQ(est->arrays_used, (*acc)->arrays_used());
+}
+
+TEST(AcceleratorTest, FaultInjectionPerturbsOutput) {
+  Rng rng(13);
+  const nn::Network net = SmallMlp(rng);
+  auto clean = DpeAccelerator::Create(QuietIsaac(), net, Rng(14));
+  auto faulty = DpeAccelerator::Create(QuietIsaac(), net, Rng(14));
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(faulty.ok());
+  ASSERT_TRUE(
+      (*faulty)->InjectFault(0, 0, 0, device::CellFault::kStuckOn).ok());
+  nn::Tensor input({16});
+  input.vec().assign(16, 1.0);
+  auto clean_out = (*clean)->Infer(input);
+  auto faulty_out = (*faulty)->Infer(input);
+  ASSERT_TRUE(clean_out.ok());
+  ASSERT_TRUE(faulty_out.ok());
+  double diff = 0.0;
+  for (std::size_t i = 0; i < clean_out->size(); ++i) {
+    diff += std::fabs((*clean_out)[i] - (*faulty_out)[i]);
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(ScalingTest, SingleBoardFitsSmallNetwork) {
+  MultiBoardModel model(QuietIsaac());
+  Rng rng(15);
+  const nn::Network net = nn::BuildMlp("m", {256, 256, 64}, rng);
+  auto report = model.Evaluate(net, 1, 0.0, false);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->boards_needed, 1u);
+  EXPECT_EQ(report->replicas, 1u);
+  EXPECT_DOUBLE_EQ(report->interboard_bytes, 0.0);
+  EXPECT_GT(report->throughput_per_sec, 0.0);
+}
+
+TEST(ScalingTest, ReplicationScalesThroughputLinearly) {
+  MultiBoardModel model(QuietIsaac());
+  Rng rng(16);
+  const nn::Network net = nn::BuildMlp("m", {256, 256, 64}, rng);
+  auto one = model.Evaluate(net, 1, 0.0, false);
+  auto eight = model.Evaluate(net, 8, 0.0, false);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(eight.ok());
+  EXPECT_NEAR(eight->throughput_per_sec / one->throughput_per_sec, 8.0,
+              0.01);
+}
+
+TEST(ScalingTest, NetworkTooLargeForBoardsRejected) {
+  DpeParams p = QuietIsaac();
+  p.arrays_per_board = 4;  // tiny board
+  MultiBoardModel model(p);
+  Rng rng(17);
+  const nn::Network net = nn::BuildMlp("m", {512, 512, 512}, rng);
+  EXPECT_EQ(model.Evaluate(net, 1, 0.0, false).status().code(),
+            ErrorCode::kCapacityExceeded);
+}
+
+TEST(ScalingTest, MultiBoardPaysInterboardTraffic) {
+  DpeParams p = QuietIsaac();
+  p.arrays_per_board = 64;  // force the network across boards
+  MultiBoardModel model(p);
+  Rng rng(18);
+  const nn::Network net = nn::BuildMlp("m", {512, 1024, 512, 128}, rng);
+  auto report = model.Evaluate(net, 16, 0.0, false);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->boards_needed, 1u);
+  EXPECT_GT(report->interboard_bytes, 0.0);
+  // Crossing boards adds latency versus the pure estimate.
+  AnalyticalDpeModel single(p);
+  auto est = single.EstimateInference(net);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(report->single_latency_ns, est->latency_ns);
+}
+
+TEST(ScalingTest, WriteHidingTradesArraysForThroughput) {
+  MultiBoardModel model(QuietIsaac());
+  Rng rng(19);
+  const nn::Network net = nn::BuildMlp("m", {256, 256, 64}, rng);
+  const double updates_per_sec = 20000.0;  // aggressive online training
+  auto exposed = model.Evaluate(net, 4, updates_per_sec, false);
+  auto hidden = model.Evaluate(net, 4, updates_per_sec, true);
+  ASSERT_TRUE(exposed.ok());
+  ASSERT_TRUE(hidden.ok());
+  EXPECT_GT(exposed->update_stall_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(hidden->update_stall_fraction, 0.0);
+  // Hiding needs shadow arrays...
+  EXPECT_GT(hidden->arrays_total, exposed->arrays_total);
+  // ...but delivers more effective throughput under heavy updates.
+  EXPECT_GT(hidden->effective_throughput_per_sec,
+            exposed->effective_throughput_per_sec);
+}
+
+}  // namespace
+}  // namespace cim::dpe

@@ -1,0 +1,280 @@
+// Tests for the paper's secondary mechanisms: photonic links (§II.A),
+// persistent memoization (§II.A), the aging/serviceability monitor (§V.D),
+// and the von Neumann <-> CIM hybrid interaction models (§III.F).
+#include <gtest/gtest.h>
+
+#include "noc/photonic.h"
+#include "reliability/aging_monitor.h"
+#include "runtime/hybrid.h"
+#include "runtime/memoization.h"
+
+namespace cim {
+namespace {
+
+// --- photonics -------------------------------------------------------------
+
+TEST(PhotonicTest, ElectricalEnergyGrowsWithDistance) {
+  noc::ElectricalLinkParams e;
+  auto near = e.Transfer(1024, 1.0);
+  auto far = e.Transfer(1024, 100.0);
+  ASSERT_TRUE(near.ok());
+  ASSERT_TRUE(far.ok());
+  EXPECT_GT(far->energy_pj, 5.0 * near->energy_pj);
+  EXPECT_LT(far->effective_bandwidth_gbps, near->effective_bandwidth_gbps);
+}
+
+TEST(PhotonicTest, PhotonicEnergyFlatInDistance) {
+  // The paper's claim: "same energy per bit, varying only in the time of
+  // flight" from centimeters to kilometers.
+  noc::PhotonicLinkParams p;
+  auto cm = p.Transfer(1024, 10.0);
+  auto km = p.Transfer(1024, 100000.0);
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE(km.ok());
+  EXPECT_DOUBLE_EQ(cm->energy_pj, km->energy_pj);
+  EXPECT_GT(km->latency_ns, cm->latency_ns);  // only time of flight grows
+  EXPECT_DOUBLE_EQ(km->effective_bandwidth_gbps,
+                   cm->effective_bandwidth_gbps);
+}
+
+TEST(PhotonicTest, ElectricalReachLimited) {
+  noc::ElectricalLinkParams e;
+  EXPECT_FALSE(e.Transfer(64, e.max_reach_cm * 2).ok());
+  noc::PhotonicLinkParams p;
+  EXPECT_TRUE(p.Transfer(64, 1e6).ok());  // 10 km is fine optically
+}
+
+TEST(PhotonicTest, CrossoverWhereTheModelsSayItIs) {
+  noc::ElectricalLinkParams e;
+  noc::PhotonicLinkParams p;
+  const double crossover = noc::PhotonicCrossoverCm(e, p);
+  ASSERT_GT(crossover, 0.0);
+  auto e_before = e.Transfer(1024, crossover * 0.5);
+  auto p_before = p.Transfer(1024, crossover * 0.5);
+  auto e_after = e.Transfer(1024, crossover * 2.0);
+  auto p_after = p.Transfer(1024, crossover * 2.0);
+  ASSERT_TRUE(e_before.ok() && p_before.ok() && e_after.ok() &&
+              p_after.ok());
+  EXPECT_LT(e_before->energy_pj, p_before->energy_pj);
+  EXPECT_GT(e_after->energy_pj, p_after->energy_pj);
+}
+
+TEST(PhotonicTest, NegativeTransferRejected) {
+  noc::ElectricalLinkParams e;
+  EXPECT_FALSE(e.Transfer(-1.0, 1.0).ok());
+  noc::PhotonicLinkParams p;
+  EXPECT_FALSE(p.Transfer(64, -1.0).ok());
+}
+
+// --- memoization -------------------------------------------------------------
+
+TEST(MemoTest, HitReturnsStoredValueAndBooksSaving) {
+  auto cache = runtime::MemoCache::Create(runtime::MemoParams{});
+  ASSERT_TRUE(cache.ok());
+  const double recompute_pj = 1e6;
+  EXPECT_FALSE(cache->Lookup(42, recompute_pj).ok());  // cold miss
+  ASSERT_TRUE(cache->Insert(42, {1.0, 2.0}, recompute_pj).ok());
+  auto hit = cache->Lookup(42, recompute_pj);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(*hit, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(cache->stats().hit_rate(), 0.5);
+  EXPECT_GT(cache->stats().net_energy_pj(), 0.0);
+}
+
+TEST(MemoTest, CheapResultsNotWorthPersisting) {
+  runtime::MemoParams params;
+  params.write_energy_pj = 400.0;
+  params.write_worthiness = 2.0;
+  auto cache = runtime::MemoCache::Create(params);
+  ASSERT_TRUE(cache.ok());
+  // Recompute costs less than 2x the write: economically rejected.
+  EXPECT_EQ(cache->Insert(1, {1.0}, 500.0).code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(cache->stats().rejected_writes, 1u);
+  EXPECT_TRUE(cache->Insert(2, {1.0}, 10000.0).ok());
+}
+
+TEST(MemoTest, LruEvictionBoundsCapacity) {
+  runtime::MemoParams params;
+  params.capacity_entries = 3;
+  auto cache = runtime::MemoCache::Create(params);
+  ASSERT_TRUE(cache.ok());
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    ASSERT_TRUE(cache->Insert(k, {double(k)}, 1e6).ok());
+  }
+  EXPECT_EQ(cache->size(), 3u);
+  EXPECT_EQ(cache->stats().evictions, 2u);
+  // Oldest entries (0, 1) evicted, newest retained.
+  EXPECT_FALSE(cache->Lookup(0, 1e6).ok());
+  EXPECT_TRUE(cache->Lookup(4, 1e6).ok());
+}
+
+TEST(MemoTest, LookupRefreshesRecency) {
+  runtime::MemoParams params;
+  params.capacity_entries = 2;
+  auto cache = runtime::MemoCache::Create(params);
+  ASSERT_TRUE(cache.ok());
+  ASSERT_TRUE(cache->Insert(1, {1.0}, 1e6).ok());
+  ASSERT_TRUE(cache->Insert(2, {2.0}, 1e6).ok());
+  ASSERT_TRUE(cache->Lookup(1, 1e6).ok());  // 1 becomes most recent
+  ASSERT_TRUE(cache->Insert(3, {3.0}, 1e6).ok());  // evicts 2
+  EXPECT_TRUE(cache->Lookup(1, 1e6).ok());
+  EXPECT_FALSE(cache->Lookup(2, 1e6).ok());
+}
+
+TEST(MemoTest, PersistsAcrossPowerCycle) {
+  auto cache = runtime::MemoCache::Create(runtime::MemoParams{});
+  ASSERT_TRUE(cache.ok());
+  ASSERT_TRUE(cache->Insert(7, {7.0}, 1e6).ok());
+  ASSERT_TRUE(cache->Insert(8, {8.0}, 1e6).ok());
+  // NVM: every entry survives a reboot (§II.B persistence).
+  EXPECT_EQ(cache->PowerCycle(), 2u);
+}
+
+// --- aging monitor ------------------------------------------------------------
+
+reliability::AgingParams MonitorParams() {
+  reliability::AgingParams p;
+  p.endurance_cycles = 1000;
+  return p;
+}
+
+TEST(AgingTest, WearDrivesDegradedThenRetired) {
+  auto monitor = reliability::AgingMonitor::Create(MonitorParams());
+  ASSERT_TRUE(monitor.ok());
+  ASSERT_TRUE(monitor->AddUnit(1).ok());
+  ASSERT_TRUE(monitor->RecordWrites(1, 850, 850, 0).ok());
+  auto report = monitor->Evaluate();
+  EXPECT_EQ(report.newly_degraded, (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(report.escalation,
+            reliability::EscalationLevel::kDesignEngineers);  // 1/1 degraded
+  ASSERT_TRUE(monitor->RecordWrites(1, 120, 120, 0).ok());
+  report = monitor->Evaluate();
+  EXPECT_EQ(report.newly_retired, (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(monitor->HealthOf(1)->state,
+            reliability::HealthState::kRetired);
+}
+
+TEST(AgingTest, VerifyFailureRateAlsoDegrades) {
+  auto monitor = reliability::AgingMonitor::Create(MonitorParams());
+  ASSERT_TRUE(monitor.ok());
+  ASSERT_TRUE(monitor->AddUnit(1).ok());
+  // Low wear but 10% verify failures over a meaningful sample.
+  ASSERT_TRUE(monitor->RecordWrites(1, 100, 200, 20).ok());
+  auto report = monitor->Evaluate();
+  EXPECT_EQ(report.newly_degraded, (std::vector<std::uint32_t>{1}));
+}
+
+TEST(AgingTest, SparesReplaceRetiredUnits) {
+  auto monitor = reliability::AgingMonitor::Create(MonitorParams());
+  ASSERT_TRUE(monitor.ok());
+  ASSERT_TRUE(monitor->AddUnit(1).ok());
+  ASSERT_TRUE(monitor->AddUnit(100, /*is_spare=*/true).ok());
+  EXPECT_EQ(monitor->available_spares(), 1u);
+  ASSERT_TRUE(monitor->RecordWrites(1, 960, 960, 0).ok());
+  (void)monitor->Evaluate();
+  auto spare = monitor->ClaimSpare();
+  ASSERT_TRUE(spare.ok());
+  EXPECT_EQ(*spare, 100u);
+  EXPECT_EQ(monitor->available_spares(), 0u);
+  EXPECT_EQ(monitor->active_units(), 1u);  // the spare took over
+  EXPECT_FALSE(monitor->ClaimSpare().ok());
+}
+
+TEST(AgingTest, ProactiveRetirementPreventsUnanticipatedFailures) {
+  // The §V.D payoff: with monitoring, the unit is retired before its
+  // failure; without, the failure is unanticipated.
+  auto monitored = reliability::AgingMonitor::Create(MonitorParams());
+  ASSERT_TRUE(monitored.ok());
+  ASSERT_TRUE(monitored->AddUnit(1).ok());
+  ASSERT_TRUE(monitored->RecordWrites(1, 970, 970, 0).ok());
+  (void)monitored->Evaluate();  // retires the unit
+  ASSERT_TRUE(monitored->RecordFailure(1).ok());
+  EXPECT_EQ(monitored->unanticipated_failures(), 0u);
+
+  auto blind = reliability::AgingMonitor::Create(MonitorParams());
+  ASSERT_TRUE(blind.ok());
+  ASSERT_TRUE(blind->AddUnit(1).ok());
+  ASSERT_TRUE(blind->RecordFailure(1).ok());  // no telemetry, no warning
+  EXPECT_EQ(blind->unanticipated_failures(), 1u);
+}
+
+TEST(AgingTest, EscalationLevels) {
+  reliability::AgingParams params = MonitorParams();
+  params.systemic_fraction = 0.5;
+  auto monitor = reliability::AgingMonitor::Create(params);
+  ASSERT_TRUE(monitor.ok());
+  for (std::uint32_t u = 1; u <= 6; ++u) {
+    ASSERT_TRUE(monitor->AddUnit(u).ok());
+  }
+  // One of six degraded -> central management only.
+  ASSERT_TRUE(monitor->RecordWrites(1, 850, 850, 0).ok());
+  EXPECT_EQ(monitor->Evaluate().escalation,
+            reliability::EscalationLevel::kCentralManagement);
+  // A retirement (2/6 unhealthy, below systemic) -> support agents.
+  ASSERT_TRUE(monitor->RecordWrites(2, 980, 980, 0).ok());
+  EXPECT_EQ(monitor->Evaluate().escalation,
+            reliability::EscalationLevel::kSupportAgents);
+  // Half the fleet unhealthy -> design engineers.
+  ASSERT_TRUE(monitor->RecordWrites(3, 850, 850, 0).ok());
+  ASSERT_TRUE(monitor->RecordWrites(4, 850, 850, 0).ok());
+  EXPECT_EQ(monitor->Evaluate().escalation,
+            reliability::EscalationLevel::kDesignEngineers);
+}
+
+// --- hybrid models ----------------------------------------------------------
+
+TEST(HybridTest, WorkloadValidation) {
+  runtime::HybridWorkload bad;
+  bad.mvm_fraction = 0.8;
+  bad.scalar_fraction = 0.5;
+  runtime::HybridMachineParams machine;
+  EXPECT_FALSE(runtime::EvaluateHostOnly(bad, machine).ok());
+}
+
+TEST(HybridTest, CimWithinVonNeumannSpeedsUpMvmHeavyWork) {
+  runtime::HybridWorkload workload;
+  workload.mvm_fraction = 0.9;
+  workload.scalar_fraction = 0.1;
+  runtime::HybridMachineParams machine;
+  auto host = runtime::EvaluateHostOnly(workload, machine);
+  auto hybrid = runtime::EvaluateCimWithinVonNeumann(workload, machine);
+  ASSERT_TRUE(host.ok());
+  ASSERT_TRUE(hybrid.ok());
+  EXPECT_GT(hybrid->speedup_vs_host, 3.0);
+  EXPECT_GT(hybrid->energy_ratio_vs_host, 3.0);
+}
+
+TEST(HybridTest, AmdahlCapsTheHybridOnScalarHeavyWork) {
+  runtime::HybridWorkload workload;
+  workload.mvm_fraction = 0.1;
+  workload.scalar_fraction = 0.9;
+  runtime::HybridMachineParams machine;
+  auto hybrid = runtime::EvaluateCimWithinVonNeumann(workload, machine);
+  ASSERT_TRUE(hybrid.ok());
+  // Host still does 90% of the ops: speedup must stay modest.
+  EXPECT_LT(hybrid->speedup_vs_host, 2.0);
+}
+
+TEST(HybridTest, NativeCimWinsOnDataflowLosesOnControl) {
+  runtime::HybridMachineParams machine;
+  runtime::HybridWorkload dataflow;
+  dataflow.mvm_fraction = 0.95;
+  dataflow.scalar_fraction = 0.05;
+  auto native_df = runtime::EvaluateVonNeumannWithinCim(dataflow, machine);
+  ASSERT_TRUE(native_df.ok());
+  EXPECT_GT(native_df->speedup_vs_host, 1.0);
+
+  runtime::HybridWorkload control;
+  control.mvm_fraction = 0.05;
+  control.scalar_fraction = 0.95;
+  auto native_ctl = runtime::EvaluateVonNeumannWithinCim(control, machine);
+  ASSERT_TRUE(native_ctl.ok());
+  // Embedded cores are far slower than a host CPU: control-heavy work
+  // should stay on the von Neumann side (the paper's point that CIM is not
+  // for everything, Appendix A).
+  EXPECT_LT(native_ctl->speedup_vs_host, 1.0);
+}
+
+}  // namespace
+}  // namespace cim

@@ -1,0 +1,259 @@
+// Integration tests for the CIM fabric: static/dynamic/self-programmed
+// streams, security enforcement, and tile failures.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "arch/fabric.h"
+
+namespace cim::arch {
+namespace {
+
+FabricParams SmallFabric() {
+  FabricParams p;
+  p.mesh.width = 4;
+  p.mesh.height = 4;
+  p.micro_units_per_tile = 1;
+  return p;
+}
+
+// Loads a trivial scale-by-k program into the tile at `node`.
+void LoadScaleProgram(Fabric& fabric, noc::NodeId node, double k) {
+  auto tile = fabric.TileAt(node);
+  ASSERT_TRUE(tile.ok());
+  ASSERT_TRUE(
+      (*tile)->micro_unit(0).LoadProgram({{OpCode::kMulScalar, k}}).ok());
+}
+
+TEST(FabricTest, CreateValidatesParams) {
+  FabricParams p = SmallFabric();
+  p.micro_units_per_tile = 0;
+  EXPECT_FALSE(Fabric::Create(p).ok());
+}
+
+TEST(FabricTest, StaticStreamFlowsThroughPath) {
+  auto fabric = Fabric::Create(SmallFabric());
+  ASSERT_TRUE(fabric.ok());
+  Fabric& f = **fabric;
+  LoadScaleProgram(f, {0, 0}, 2.0);
+  LoadScaleProgram(f, {1, 0}, 3.0);
+  LoadScaleProgram(f, {2, 0}, 5.0);
+  ASSERT_TRUE(f.ConfigureStream(1, {{0, 0}, {1, 0}, {2, 0}}).ok());
+  std::optional<std::vector<double>> result;
+  ASSERT_TRUE(f.SetStreamSink(1, [&](std::vector<double> payload, TimeNs) {
+                 result = std::move(payload);
+               }).ok());
+  ASSERT_TRUE(f.InjectData(1, {1.0, 2.0}).ok());
+  f.queue().Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ((*result)[0], 30.0);  // 1 * 2 * 3 * 5
+  EXPECT_DOUBLE_EQ((*result)[1], 60.0);
+  const StreamStats* stats = f.StatsFor(1);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->completed, 1u);
+  EXPECT_GT(stats->end_to_end_latency_ns.mean(), 0.0);
+}
+
+TEST(FabricTest, SingleTileStreamSkipsTheMesh) {
+  auto fabric = Fabric::Create(SmallFabric());
+  ASSERT_TRUE(fabric.ok());
+  Fabric& f = **fabric;
+  LoadScaleProgram(f, {2, 2}, 10.0);
+  ASSERT_TRUE(f.ConfigureStream(7, {{2, 2}}).ok());
+  std::optional<std::vector<double>> result;
+  ASSERT_TRUE(f.SetStreamSink(7, [&](std::vector<double> payload, TimeNs) {
+                 result = std::move(payload);
+               }).ok());
+  ASSERT_TRUE(f.InjectData(7, {4.0}).ok());
+  f.queue().Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ((*result)[0], 40.0);
+  EXPECT_EQ(f.noc().telemetry().injected, 0u);
+}
+
+TEST(FabricTest, UnknownStreamRejected) {
+  auto fabric = Fabric::Create(SmallFabric());
+  ASSERT_TRUE(fabric.ok());
+  EXPECT_EQ((*fabric)->InjectData(99, {1.0}).code(), ErrorCode::kNotFound);
+  EXPECT_FALSE((*fabric)->SetStreamSink(99, nullptr).ok());
+}
+
+TEST(FabricTest, DynamicStreamRoutesByPayload) {
+  auto fabric = Fabric::Create(SmallFabric());
+  ASSERT_TRUE(fabric.ok());
+  Fabric& f = **fabric;
+  LoadScaleProgram(f, {0, 0}, 1.0);
+  LoadScaleProgram(f, {3, 0}, 100.0);  // "large" branch
+  LoadScaleProgram(f, {0, 3}, -1.0);   // "small" branch
+  // Route by value: payloads >= 10 go east, others go north; second hop
+  // terminates.
+  ASSERT_TRUE(f.ConfigureDynamicStream(
+                   5, {0, 0},
+                   [](noc::NodeId current, std::span<const double> payload)
+                       -> std::optional<noc::NodeId> {
+                     if (current == noc::NodeId{0, 0}) {
+                       return payload[0] >= 10.0 ? noc::NodeId{3, 0}
+                                                 : noc::NodeId{0, 3};
+                     }
+                     return std::nullopt;
+                   })
+                  .ok());
+  std::vector<double> outputs;
+  ASSERT_TRUE(f.SetStreamSink(5, [&](std::vector<double> payload, TimeNs) {
+                 outputs.push_back(payload[0]);
+               }).ok());
+  ASSERT_TRUE(f.InjectData(5, {20.0}).ok());
+  ASSERT_TRUE(f.InjectData(5, {2.0}).ok());
+  f.queue().Run();
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_DOUBLE_EQ(outputs[0], 2000.0);  // 20 * 100
+  EXPECT_DOUBLE_EQ(outputs[1], -2.0);    // 2 * -1
+}
+
+TEST(FabricTest, SelfProgrammingCodePacketReconfiguresTile) {
+  auto fabric = Fabric::Create(SmallFabric());
+  ASSERT_TRUE(fabric.ok());
+  Fabric& f = **fabric;
+  LoadScaleProgram(f, {2, 0}, 1.0);
+  ASSERT_TRUE(f.ConfigureStream(1, {{2, 0}}).ok());
+  std::vector<double> outputs;
+  ASSERT_TRUE(f.SetStreamSink(1, [&](std::vector<double> payload, TimeNs) {
+                 outputs.push_back(payload[0]);
+               }).ok());
+  ASSERT_TRUE(f.InjectData(1, {5.0}).ok());
+  f.queue().Run();
+  // Ship new code (scale by 7) to the tile, then re-inject.
+  ASSERT_TRUE(
+      f.SendProgram({0, 0}, {2, 0}, 0, {{OpCode::kMulScalar, 7.0}}).ok());
+  f.queue().Run();
+  ASSERT_TRUE(f.InjectData(1, {5.0}).ok());
+  f.queue().Run();
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_DOUBLE_EQ(outputs[0], 5.0);
+  EXPECT_DOUBLE_EQ(outputs[1], 35.0);
+  EXPECT_EQ(f.rejected_code_loads(), 0u);
+}
+
+TEST(FabricTest, UnauthenticatedCodeRejected) {
+  FabricParams params = SmallFabric();
+  params.authenticate_code = true;
+  auto fabric = Fabric::Create(params);
+  ASSERT_TRUE(fabric.ok());
+  Fabric& f = **fabric;
+  // Craft a code packet with a bogus tag by injecting directly via the NoC.
+  noc::Packet packet;
+  packet.id = 999;
+  packet.source = {0, 0};
+  packet.destination = {1, 1};
+  packet.kind = noc::PayloadKind::kCode;
+  packet.inline_payload = {0};
+  const auto body = SerializeProgram({{OpCode::kMulScalar, 0.0}});
+  packet.inline_payload.insert(packet.inline_payload.end(), body.begin(),
+                               body.end());
+  packet.payload_bytes =
+      static_cast<std::uint32_t>(packet.inline_payload.size());
+  packet.auth_tag = 0xDEAD;  // wrong
+  ASSERT_TRUE(f.noc().Inject(packet).ok());
+  f.queue().Run();
+  EXPECT_EQ(f.rejected_code_loads(), 1u);
+}
+
+TEST(FabricTest, PartitionEnforcementBlocksCrossTraffic) {
+  FabricParams params = SmallFabric();
+  params.enforce_partitions = true;
+  auto fabric = Fabric::Create(params);
+  ASSERT_TRUE(fabric.ok());
+  Fabric& f = **fabric;
+  f.partitions().Assign({0, 0}, 1);
+  f.partitions().Assign({1, 0}, 2);  // different partition, no flow granted
+  LoadScaleProgram(f, {0, 0}, 1.0);
+  LoadScaleProgram(f, {1, 0}, 1.0);
+  ASSERT_TRUE(f.ConfigureStream(1, {{0, 0}, {1, 0}}).ok());
+  int completions = 0;
+  ASSERT_TRUE(f.SetStreamSink(1, [&](std::vector<double>, TimeNs) {
+                 ++completions;
+               }).ok());
+  ASSERT_TRUE(f.InjectData(1, {1.0}).ok());
+  f.queue().Run();
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(f.rejected_injections(), 1u);
+  // Granting the flow unblocks it.
+  f.partitions().GrantFlow(1, 2);
+  ASSERT_TRUE(f.InjectData(1, {1.0}).ok());
+  f.queue().Run();
+  EXPECT_EQ(completions, 1);
+}
+
+TEST(FabricTest, EncryptedStreamStillComputesCorrectly) {
+  FabricParams params = SmallFabric();
+  params.encrypt_data = true;
+  auto fabric = Fabric::Create(params);
+  ASSERT_TRUE(fabric.ok());
+  Fabric& f = **fabric;
+  LoadScaleProgram(f, {0, 0}, 2.0);
+  LoadScaleProgram(f, {3, 3}, 4.0);
+  ASSERT_TRUE(f.ConfigureStream(1, {{0, 0}, {3, 3}}).ok());
+  std::optional<std::vector<double>> result;
+  ASSERT_TRUE(f.SetStreamSink(1, [&](std::vector<double> payload, TimeNs) {
+                 result = std::move(payload);
+               }).ok());
+  ASSERT_TRUE(f.InjectData(1, {1.25}).ok());
+  f.queue().Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ((*result)[0], 10.0);  // 1.25 * 2 * 4
+}
+
+TEST(FabricTest, FailedTileBreaksStreamUntilRedirected) {
+  auto fabric = Fabric::Create(SmallFabric());
+  ASSERT_TRUE(fabric.ok());
+  Fabric& f = **fabric;
+  LoadScaleProgram(f, {0, 0}, 2.0);
+  LoadScaleProgram(f, {1, 0}, 3.0);
+  LoadScaleProgram(f, {1, 1}, 3.0);  // redundant unit with the same program
+  ASSERT_TRUE(f.ConfigureStream(1, {{0, 0}, {1, 0}}).ok());
+  int completions = 0;
+  ASSERT_TRUE(f.SetStreamSink(1, [&](std::vector<double>, TimeNs) {
+                 ++completions;
+               }).ok());
+  ASSERT_TRUE(f.FailTile({1, 0}).ok());
+  ASSERT_TRUE(f.InjectData(1, {1.0}).ok());
+  f.queue().Run();
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(f.StatsFor(1)->failed, 1u);
+  // §V.A recovery: redirect the stream to the redundant unit.
+  ASSERT_TRUE(f.RedirectStream(1, {{0, 0}, {1, 1}}).ok());
+  ASSERT_TRUE(f.InjectData(1, {1.0}).ok());
+  f.queue().Run();
+  EXPECT_EQ(completions, 1);
+}
+
+TEST(FabricTest, RedirectValidation) {
+  auto fabric = Fabric::Create(SmallFabric());
+  ASSERT_TRUE(fabric.ok());
+  Fabric& f = **fabric;
+  ASSERT_TRUE(f.ConfigureStream(1, {{0, 0}}).ok());
+  EXPECT_FALSE(f.RedirectStream(2, {{0, 0}}).ok());       // unknown stream
+  EXPECT_FALSE(f.RedirectStream(1, {}).ok());             // empty path
+  EXPECT_FALSE(f.RedirectStream(1, {{9, 9}}).ok());       // outside fabric
+}
+
+TEST(FabricTest, TotalCostGrowsWithTraffic) {
+  auto fabric = Fabric::Create(SmallFabric());
+  ASSERT_TRUE(fabric.ok());
+  Fabric& f = **fabric;
+  LoadScaleProgram(f, {0, 0}, 1.0);
+  LoadScaleProgram(f, {3, 3}, 1.0);
+  ASSERT_TRUE(f.ConfigureStream(1, {{0, 0}, {3, 3}}).ok());
+  const CostReport before = f.TotalCost();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(f.InjectData(1, std::vector<double>(16, 1.0)).ok());
+  }
+  f.queue().Run();
+  const CostReport after = f.TotalCost();
+  EXPECT_GT(after.energy_pj, before.energy_pj);
+  EXPECT_GT(after.bytes_moved, before.bytes_moved);
+}
+
+}  // namespace
+}  // namespace cim::arch

@@ -1,0 +1,191 @@
+// Tests for resource management (§IV.C) and the Fig 6 integration models.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "runtime/integration.h"
+#include "runtime/load_balancer.h"
+#include "runtime/sla.h"
+
+namespace cim::runtime {
+namespace {
+
+TEST(LoadInformationTest, TracksLatencyDemandUtilization) {
+  LoadInformationManager lim;
+  lim.RecordLatency(1, 100.0);
+  lim.RecordLatency(1, 200.0);
+  lim.RecordDemand(1, 500.0);
+  lim.RecordUtilization(3, 0.7);
+  ASSERT_NE(lim.LatencyOf(1), nullptr);
+  EXPECT_DOUBLE_EQ(lim.LatencyOf(1)->mean(), 150.0);
+  EXPECT_EQ(lim.LatencyOf(2), nullptr);
+  EXPECT_DOUBLE_EQ(lim.DemandOf(1), 500.0);
+  EXPECT_DOUBLE_EQ(lim.DemandOf(9), 0.0);
+  EXPECT_DOUBLE_EQ(lim.UtilizationOf(3), 0.7);
+}
+
+TEST(LoadBalancerTest, AssignsToLeastLoaded) {
+  LoadBalancer balancer;
+  ASSERT_TRUE(balancer.AddWorker({1, 100.0, true}).ok());
+  ASSERT_TRUE(balancer.AddWorker({2, 100.0, true}).ok());
+  auto w1 = balancer.Assign(10, 60.0);
+  ASSERT_TRUE(w1.ok());
+  auto w2 = balancer.Assign(11, 10.0);
+  ASSERT_TRUE(w2.ok());
+  EXPECT_NE(*w1, *w2);  // second stream goes to the emptier worker
+  auto w3 = balancer.Assign(12, 10.0);
+  ASSERT_TRUE(w3.ok());
+  EXPECT_EQ(*w3, *w2);  // still the lighter one
+}
+
+TEST(LoadBalancerTest, DuplicateWorkerRejected) {
+  LoadBalancer balancer;
+  ASSERT_TRUE(balancer.AddWorker({1, 100.0, true}).ok());
+  EXPECT_EQ(balancer.AddWorker({1, 50.0, true}).code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_FALSE(balancer.AddWorker({2, 0.0, true}).ok());
+}
+
+TEST(LoadBalancerTest, PinnedStreamStaysPut) {
+  LoadBalancer balancer;
+  ASSERT_TRUE(balancer.AddWorker({1, 100.0, true}).ok());
+  ASSERT_TRUE(balancer.AddWorker({2, 100.0, true}).ok());
+  auto w = balancer.Assign(10, 90.0, /*pinned=*/true);
+  ASSERT_TRUE(w.ok());
+  // Reassigning a pinned stream is refused.
+  EXPECT_EQ(balancer.Assign(10, 90.0).status().code(),
+            ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(balancer.Unpin(10).ok());
+  EXPECT_TRUE(balancer.Assign(10, 90.0).ok());
+}
+
+TEST(LoadBalancerTest, RebalanceMovesStreamsOffUnhealthyWorkers) {
+  LoadBalancer balancer;
+  ASSERT_TRUE(balancer.AddWorker({1, 100.0, true}).ok());
+  ASSERT_TRUE(balancer.AddWorker({2, 100.0, true}).ok());
+  auto w = balancer.Assign(10, 50.0);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(balancer.SetWorkerHealthy(*w, false).ok());
+  auto moved = balancer.Rebalance();
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, 1);
+  EXPECT_NE(*balancer.WorkerOf(10), *w);
+}
+
+TEST(LoadBalancerTest, NoHealthyWorkersReported) {
+  LoadBalancer balancer;
+  ASSERT_TRUE(balancer.AddWorker({1, 100.0, true}).ok());
+  ASSERT_TRUE(balancer.SetWorkerHealthy(1, false).ok());
+  EXPECT_EQ(balancer.Assign(10, 1.0).status().code(),
+            ErrorCode::kUnavailable);
+}
+
+TEST(LoadBalancerTest, ImbalanceMetric) {
+  LoadBalancer balancer;
+  ASSERT_TRUE(balancer.AddWorker({1, 100.0, true}).ok());
+  ASSERT_TRUE(balancer.AddWorker({2, 100.0, true}).ok());
+  EXPECT_DOUBLE_EQ(balancer.Imbalance(), 0.0);
+  ASSERT_TRUE(balancer.Assign(10, 80.0).ok());
+  EXPECT_DOUBLE_EQ(balancer.Imbalance(), 0.8);
+  ASSERT_TRUE(balancer.Assign(11, 80.0).ok());
+  EXPECT_DOUBLE_EQ(balancer.Imbalance(), 0.0);
+}
+
+TEST(LoadBalancerTest, RemoveWorkerDropsItsStreams) {
+  LoadBalancer balancer;
+  ASSERT_TRUE(balancer.AddWorker({1, 100.0, true}).ok());
+  ASSERT_TRUE(balancer.Assign(10, 10.0).ok());
+  ASSERT_TRUE(balancer.RemoveWorker(1).ok());
+  EXPECT_FALSE(balancer.WorkerOf(10).has_value());
+  EXPECT_FALSE(balancer.LoadOf(1).ok());
+}
+
+TEST(SlaControllerTest, ScaleUpOnViolation) {
+  SlaController sla;
+  ASSERT_TRUE(sla.SetTarget(1, {1000.0, 0.5, 4}).ok());
+  for (int i = 0; i < 4; ++i) sla.Observe(1, 2000.0);
+  auto decisions = sla.Evaluate();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].action, SlaAction::kScaleUp);
+  EXPECT_EQ(sla.violations(), 1u);
+}
+
+TEST(SlaControllerTest, ScaleDownWhenFarUnder) {
+  SlaController sla;
+  ASSERT_TRUE(sla.SetTarget(1, {1000.0, 0.5, 4}).ok());
+  for (int i = 0; i < 4; ++i) sla.Observe(1, 100.0);
+  auto decisions = sla.Evaluate();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].action, SlaAction::kScaleDown);
+  EXPECT_EQ(sla.violations(), 0u);
+}
+
+TEST(SlaControllerTest, HysteresisBandTakesNoAction) {
+  SlaController sla;
+  ASSERT_TRUE(sla.SetTarget(1, {1000.0, 0.5, 2}).ok());
+  sla.Observe(1, 700.0);
+  sla.Observe(1, 800.0);
+  EXPECT_TRUE(sla.Evaluate().empty());
+}
+
+TEST(SlaControllerTest, NeedsMinimumSamples) {
+  SlaController sla;
+  ASSERT_TRUE(sla.SetTarget(1, {1000.0, 0.5, 8}).ok());
+  for (int i = 0; i < 7; ++i) sla.Observe(1, 9999.0);
+  EXPECT_TRUE(sla.Evaluate().empty());
+  sla.Observe(1, 9999.0);
+  EXPECT_EQ(sla.Evaluate().size(), 1u);
+}
+
+TEST(SlaControllerTest, WindowResetsAfterEvaluation) {
+  SlaController sla;
+  ASSERT_TRUE(sla.SetTarget(1, {1000.0, 0.5, 2}).ok());
+  sla.Observe(1, 5000.0);
+  sla.Observe(1, 5000.0);
+  EXPECT_EQ(sla.Evaluate().size(), 1u);
+  // Old samples are gone; a single new sample is below min_samples.
+  sla.Observe(1, 5000.0);
+  EXPECT_TRUE(sla.Evaluate().empty());
+}
+
+TEST(SlaControllerTest, TargetValidation) {
+  SlaController sla;
+  EXPECT_FALSE(sla.SetTarget(1, {-5.0, 0.5, 2}).ok());
+  EXPECT_FALSE(sla.SetTarget(1, {100.0, 1.5, 2}).ok());
+}
+
+TEST(IntegrationTest, OverheadShrinksAcrossTheEvolution) {
+  // Fig 6: slave -> cooperative -> integrated -> native monotonically
+  // reduces the non-compute overhead fraction.
+  dpe::AnalyticalDpeModel model;
+  Rng rng(1);
+  const nn::Network net = nn::BuildMlp("m", {256, 128, 10}, rng);
+  auto reports = EvaluateAllIntegrations(model, net);
+  ASSERT_TRUE(reports.ok());
+  for (int i = 1; i < kIntegrationModelCount; ++i) {
+    EXPECT_LT((*reports)[i].overhead_fraction,
+              (*reports)[i - 1].overhead_fraction)
+        << IntegrationModelName((*reports)[i].model);
+    EXPECT_GT((*reports)[i].requests_per_sec,
+              (*reports)[i - 1].requests_per_sec);
+  }
+  // Compute is identical across stages; only overhead changes.
+  for (const auto& r : *reports) {
+    EXPECT_DOUBLE_EQ(r.compute_latency_ns, (*reports)[0].compute_latency_ns);
+  }
+  // The slave model is dominated by overhead for this small network.
+  EXPECT_GT((*reports)[0].overhead_fraction, 0.5);
+  // Native has zero dispatch overhead (only the data link).
+  EXPECT_LT((*reports)[3].overhead_fraction, 0.1);
+}
+
+TEST(IntegrationTest, EnergyFallsAsHostStepsAside) {
+  dpe::AnalyticalDpeModel model;
+  Rng rng(2);
+  const nn::Network net = nn::BuildMlp("m", {64, 32}, rng);
+  auto reports = EvaluateAllIntegrations(model, net);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_GT((*reports)[0].energy_pj, (*reports)[3].energy_pj);
+}
+
+}  // namespace
+}  // namespace cim::runtime

@@ -1,0 +1,59 @@
+// Tests for the Fig 2 historical dataset.
+#include <gtest/gtest.h>
+
+#include "trend/machines.h"
+
+namespace cim::trend {
+namespace {
+
+TEST(TrendTest, DatasetSpansThePaperEra) {
+  const auto machines = HistoricalMachines();
+  ASSERT_GE(machines.size(), 12u);
+  EXPECT_EQ(machines.front().year, 1945);  // EDVAC, the paper's reference
+  EXPECT_GE(machines.back().year, 2016);
+  // Chronologically ordered.
+  for (std::size_t i = 1; i < machines.size(); ++i) {
+    EXPECT_GT(machines[i].year, machines[i - 1].year);
+  }
+}
+
+TEST(TrendTest, AllEntriesPhysicallySensible) {
+  for (const MachineRecord& m : HistoricalMachines()) {
+    EXPECT_GT(m.peak_flops, 0.0) << m.name;
+    EXPECT_GT(m.memory_bandwidth_bps, 0.0) << m.name;
+    EXPECT_GT(m.bytes_per_flop(), 1e-5) << m.name;
+    EXPECT_LT(m.bytes_per_flop(), 100.0) << m.name;
+  }
+}
+
+TEST(TrendTest, EarlyMachinesNearOneByteFlopModernFarBelow) {
+  const auto machines = HistoricalMachines();
+  // Fig 2's anchor: mid-century machines sit near 1 byte/flop.
+  EXPECT_GT(machines.front().bytes_per_flop(), 0.5);
+  // 2010s systems sit several orders of magnitude lower.
+  EXPECT_LT(machines.back().bytes_per_flop(), 0.2);
+  EXPECT_LT(machines.back().bytes_per_flop() /
+                machines.front().bytes_per_flop(),
+            1e-1);
+}
+
+TEST(TrendTest, DecadalSlopeIsNegative) {
+  const double slope = BytesPerFlopDecadalSlope(HistoricalMachines());
+  // The ratio falls steadily: between about a tenth and a full order of
+  // magnitude lost per decade.
+  EXPECT_LT(slope, -0.1);
+  EXPECT_GT(slope, -1.5);
+}
+
+TEST(TrendTest, SlopeOfFlatDataIsZero) {
+  const std::vector<MachineRecord> flat{
+      {1950, "a", 1e6, 1e6},
+      {1960, "b", 1e9, 1e9},
+      {1970, "c", 1e12, 1e12},
+  };
+  EXPECT_NEAR(BytesPerFlopDecadalSlope(flat), 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(BytesPerFlopDecadalSlope({}), 0.0);
+}
+
+}  // namespace
+}  // namespace cim::trend

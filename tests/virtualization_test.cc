@@ -1,0 +1,153 @@
+// Tests for the NFV-style virtualization manager (§IV.B).
+#include <gtest/gtest.h>
+
+#include "runtime/virtualization.h"
+
+namespace cim::runtime {
+namespace {
+
+arch::FabricParams SmallFabric() {
+  arch::FabricParams p;
+  p.mesh.width = 3;
+  p.mesh.height = 3;
+  p.enforce_partitions = true;
+  return p;
+}
+
+VirtualFunctionSpec ScalerSpec(const std::string& name, double k1,
+                               double k2) {
+  VirtualFunctionSpec spec;
+  spec.name = name;
+  spec.stages = {{{arch::OpCode::kMulScalar, k1}},
+                 {{arch::OpCode::kMulScalar, k2}}};
+  return spec;
+}
+
+TEST(VirtualizationTest, InstantiateAllocatesIsolatedTiles) {
+  auto fabric = arch::Fabric::Create(SmallFabric());
+  ASSERT_TRUE(fabric.ok());
+  VirtualizationManager manager(fabric->get());
+  EXPECT_EQ(manager.free_tiles(), 9u);
+
+  auto fn_a = manager.Instantiate(ScalerSpec("a", 2.0, 3.0));
+  auto fn_b = manager.Instantiate(ScalerSpec("b", 5.0, 7.0));
+  ASSERT_TRUE(fn_a.ok());
+  ASSERT_TRUE(fn_b.ok());
+  EXPECT_EQ(manager.free_tiles(), 5u);
+  EXPECT_NE(fn_a->partition, fn_b->partition);
+  // No tile shared between functions.
+  for (noc::NodeId ta : fn_a->tiles) {
+    for (noc::NodeId tb : fn_b->tiles) {
+      EXPECT_FALSE(ta == tb);
+    }
+  }
+}
+
+TEST(VirtualizationTest, InvokeRunsThePipeline) {
+  auto fabric = arch::Fabric::Create(SmallFabric());
+  ASSERT_TRUE(fabric.ok());
+  VirtualizationManager manager(fabric->get());
+  ASSERT_TRUE(manager.Instantiate(ScalerSpec("f", 2.0, 3.0)).ok());
+  double result = 0.0;
+  ASSERT_TRUE(manager.SetSink("f", [&](std::vector<double> payload, TimeNs) {
+    result = payload[0];
+  }).ok());
+  ASSERT_TRUE(manager.Invoke("f", {4.0}).ok());
+  (*fabric)->queue().Run();
+  EXPECT_DOUBLE_EQ(result, 24.0);
+}
+
+TEST(VirtualizationTest, DuplicateNameAndCapacityErrors) {
+  auto fabric = arch::Fabric::Create(SmallFabric());
+  ASSERT_TRUE(fabric.ok());
+  VirtualizationManager manager(fabric->get());
+  ASSERT_TRUE(manager.Instantiate(ScalerSpec("f", 1.0, 1.0)).ok());
+  EXPECT_EQ(manager.Instantiate(ScalerSpec("f", 1.0, 1.0)).status().code(),
+            ErrorCode::kAlreadyExists);
+  VirtualFunctionSpec huge;
+  huge.name = "huge";
+  huge.stages.assign(20, {{arch::OpCode::kNop, 0.0}});
+  EXPECT_EQ(manager.Instantiate(huge).status().code(),
+            ErrorCode::kCapacityExceeded);
+  EXPECT_FALSE(manager.Instantiate(VirtualFunctionSpec{}).ok());
+}
+
+TEST(VirtualizationTest, DestroyReturnsTilesToPool) {
+  auto fabric = arch::Fabric::Create(SmallFabric());
+  ASSERT_TRUE(fabric.ok());
+  VirtualizationManager manager(fabric->get());
+  ASSERT_TRUE(manager.Instantiate(ScalerSpec("f", 1.0, 1.0)).ok());
+  EXPECT_EQ(manager.free_tiles(), 7u);
+  ASSERT_TRUE(manager.Destroy("f").ok());
+  EXPECT_EQ(manager.free_tiles(), 9u);
+  EXPECT_EQ(manager.Find("f"), nullptr);
+  EXPECT_EQ(manager.Destroy("f").code(), ErrorCode::kNotFound);
+}
+
+TEST(VirtualizationTest, MigrationSurvivesTileFailure) {
+  auto fabric = arch::Fabric::Create(SmallFabric());
+  ASSERT_TRUE(fabric.ok());
+  VirtualizationManager manager(fabric->get());
+  auto fn = manager.Instantiate(ScalerSpec("f", 2.0, 5.0));
+  ASSERT_TRUE(fn.ok());
+  int completions = 0;
+  double last = 0.0;
+  ASSERT_TRUE(manager.SetSink("f", [&](std::vector<double> payload, TimeNs) {
+    ++completions;
+    last = payload[0];
+  }).ok());
+  ASSERT_TRUE(manager.Invoke("f", {1.0}).ok());
+  (*fabric)->queue().Run();
+  EXPECT_EQ(completions, 1);
+
+  // Kill the second stage's tile and migrate.
+  const noc::NodeId victim = fn->tiles[1];
+  ASSERT_TRUE((*fabric)->FailTile(victim).ok());
+  auto migrated = manager.MigrateOff(victim);
+  ASSERT_TRUE(migrated.ok());
+  EXPECT_EQ(*migrated, 1);
+  // The function keeps working on its new tile with the same program.
+  ASSERT_TRUE(manager.Invoke("f", {1.0}).ok());
+  (*fabric)->queue().Run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_DOUBLE_EQ(last, 10.0);
+  // The replacement tile is in the function's partition.
+  const VirtualFunction* updated = manager.Find("f");
+  ASSERT_NE(updated, nullptr);
+  EXPECT_EQ((*fabric)->partitions().PartitionOf(updated->tiles[1]),
+            updated->partition);
+}
+
+TEST(VirtualizationTest, ChainingRequiresGrant) {
+  auto fabric = arch::Fabric::Create(SmallFabric());
+  ASSERT_TRUE(fabric.ok());
+  VirtualizationManager manager(fabric->get());
+  auto fn_a = manager.Instantiate(ScalerSpec("a", 1.0, 1.0));
+  auto fn_b = manager.Instantiate(ScalerSpec("b", 1.0, 1.0));
+  ASSERT_TRUE(fn_a.ok());
+  ASSERT_TRUE(fn_b.ok());
+  // A cross-function stream (a's entry -> b's entry) is blocked until the
+  // chain is granted.
+  const std::uint64_t chain_stream = 99;
+  ASSERT_TRUE((*fabric)
+                  ->ConfigureStream(chain_stream,
+                                    {fn_a->tiles[0], fn_b->tiles[0]})
+                  .ok());
+  int completions = 0;
+  ASSERT_TRUE((*fabric)
+                  ->SetStreamSink(chain_stream,
+                                  [&](std::vector<double>, TimeNs) {
+                                    ++completions;
+                                  })
+                  .ok());
+  ASSERT_TRUE((*fabric)->InjectData(chain_stream, {1.0}).ok());
+  (*fabric)->queue().Run();
+  EXPECT_EQ(completions, 0);  // isolation held
+  ASSERT_TRUE(manager.GrantChain("a", "b").ok());
+  ASSERT_TRUE((*fabric)->InjectData(chain_stream, {1.0}).ok());
+  (*fabric)->queue().Run();
+  EXPECT_EQ(completions, 1);  // chained
+}
+
+}  // namespace
+}  // namespace cim::runtime

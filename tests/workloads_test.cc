@@ -1,0 +1,143 @@
+// Tests for the Table 2 workload suite: characteristics, suitability
+// scoring, and trace generation.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workloads/workloads.h"
+
+namespace cim::workloads {
+namespace {
+
+std::vector<AppClass> AllClasses() {
+  std::vector<AppClass> all;
+  for (int i = 0; i < kAppClassCount; ++i) {
+    all.push_back(static_cast<AppClass>(i));
+  }
+  return all;
+}
+
+TEST(WorkloadsTest, EveryClassHasNameAndCharacteristics) {
+  for (AppClass app : AllClasses()) {
+    EXPECT_NE(AppClassName(app), "?");
+    // Characteristics are retrievable and produce a finite score.
+    const double score = CimSuitabilityScore(CharacteristicsOf(app));
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 2.25);  // sum of weights
+  }
+}
+
+TEST(WorkloadsTest, ScoringReproducesPaperTableOnAllButTwoRows) {
+  // The fitted scorer reproduces the paper's CIM column for 12 of 14
+  // classes. The two exceptions are structural: Table 2 itself rates KVS
+  // and DB-analytics differently despite identical characteristics, and
+  // rates FEM above scientific computing with near-identical rows.
+  int matches = 0;
+  std::vector<std::string> mismatches;
+  for (AppClass app : AllClasses()) {
+    const Level predicted =
+        ScoreToLevel(CimSuitabilityScore(CharacteristicsOf(app)));
+    if (predicted == PaperCimSuitability(app)) {
+      ++matches;
+    } else {
+      mismatches.push_back(AppClassName(app));
+    }
+  }
+  EXPECT_GE(matches, 12) << "unexpected mismatches beyond the known two";
+  for (const std::string& name : mismatches) {
+    EXPECT_TRUE(name == "kvs-persistency" || name == "finite-element")
+        << "unexpected mismatch: " << name;
+  }
+}
+
+TEST(WorkloadsTest, HighSuitabilityClassesScoreAboveLowOnes) {
+  const double nn =
+      CimSuitabilityScore(CharacteristicsOf(AppClass::kNeuralNetworks));
+  const double graph =
+      CimSuitabilityScore(CharacteristicsOf(AppClass::kGraphProblems));
+  const double markov =
+      CimSuitabilityScore(CharacteristicsOf(AppClass::kMarkovChain));
+  const double search =
+      CimSuitabilityScore(CharacteristicsOf(AppClass::kSearchIndexing));
+  EXPECT_GT(nn, markov);
+  EXPECT_GT(graph, search);
+}
+
+TEST(WorkloadsTest, TraceShapesFollowCharacteristics) {
+  Rng rng(1);
+  const KernelTrace nn = GenerateTrace(AppClass::kNeuralNetworks, 1.0, rng);
+  const KernelTrace markov = GenerateTrace(AppClass::kMarkovChain, 1.0, rng);
+  const KernelTrace collab = GenerateTrace(AppClass::kCollaborative, 1.0, rng);
+  // NN work is dot-product shaped; Markov chains are not.
+  EXPECT_GT(nn.mvm_macs, 10 * markov.mvm_macs);
+  // Markov chains message heavily; NN barely.
+  EXPECT_GT(markov.messages, 10 * nn.messages);
+  // Data-heavy classes have larger working sets than compute-heavy ones.
+  EXPECT_GT(nn.unique_bytes, markov.unique_bytes);
+  EXPECT_GT(collab.streamed_bytes, collab.unique_bytes * 0.5);
+}
+
+TEST(WorkloadsTest, TracesScaleWithScaleParameter) {
+  Rng rng(2);
+  const KernelTrace small = GenerateTrace(AppClass::kDatabaseAnalytics, 1.0, rng);
+  const KernelTrace large =
+      GenerateTrace(AppClass::kDatabaseAnalytics, 10.0, rng);
+  EXPECT_GT(large.unique_bytes, 5.0 * small.unique_bytes);
+  EXPECT_GT(large.messages, small.messages);
+}
+
+TEST(WorkloadsTest, CostModelsProducePositiveCosts) {
+  Rng rng(3);
+  for (AppClass app : AllClasses()) {
+    const KernelTrace trace = GenerateTrace(app, 1.0, rng);
+    const TraceCost cim = CostOnCim(trace);
+    const TraceCost von_neumann = CostOnVonNeumann(trace);
+    EXPECT_GT(cim.latency_ns, 0.0) << AppClassName(app);
+    EXPECT_GT(von_neumann.latency_ns, 0.0) << AppClassName(app);
+    EXPECT_GT(cim.energy_pj, 0.0);
+    EXPECT_GT(von_neumann.energy_pj, 0.0);
+  }
+}
+
+TEST(WorkloadsTest, ExecutedSpeedupCorrelatesWithSuitability) {
+  // The executable traces independently confirm the suitability column:
+  // classes the paper rates High speed up more on CIM than classes rated
+  // Low (averaged over several generations).
+  Rng rng(4);
+  const auto mean_speedup = [&rng](AppClass app) {
+    double total = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      const KernelTrace trace = GenerateTrace(app, 1.0, rng);
+      total += CostOnVonNeumann(trace).latency_ns /
+               CostOnCim(trace).latency_ns;
+    }
+    return total / 8.0;
+  };
+  double high_avg = 0.0;
+  int high_n = 0;
+  double low_avg = 0.0;
+  int low_n = 0;
+  for (int i = 0; i < kAppClassCount; ++i) {
+    const auto app = static_cast<AppClass>(i);
+    if (PaperCimSuitability(app) == Level::kHigh) {
+      high_avg += mean_speedup(app);
+      ++high_n;
+    } else if (PaperCimSuitability(app) == Level::kLow) {
+      low_avg += mean_speedup(app);
+      ++low_n;
+    }
+  }
+  high_avg /= high_n;
+  low_avg /= low_n;
+  EXPECT_GT(high_avg, 2.0 * low_avg);
+}
+
+TEST(WorkloadsTest, LevelHelpers) {
+  EXPECT_EQ(LevelName(Level::kLow), "low");
+  EXPECT_EQ(LevelName(Level::kHigh), "high");
+  EXPECT_DOUBLE_EQ(LevelValue(Level::kMedium), 0.5);
+  EXPECT_EQ(ScoreToLevel(0.0), Level::kLow);
+  EXPECT_EQ(ScoreToLevel(99.0), Level::kHigh);
+}
+
+}  // namespace
+}  // namespace cim::workloads
