@@ -55,9 +55,10 @@ int main() {
         }
       }
       const double rms = std::sqrt(sq_err / static_cast<double>(samples));
+      const auto num_probes = static_cast<double>(probes.size());
       std::printf("%-9d %-9d %12.4f %14.4g %12.4g\n", adc_bits, cell_bits,
-                  rms, cost.energy_pj * 1e-6 / probes.size(),
-                  cost.latency_ns * 1e-3 / probes.size());
+                  rms, cost.energy_pj * 1e-6 / num_probes,
+                  cost.latency_ns * 1e-3 / num_probes);
     }
   }
   std::printf("\nshape check: error falls with ADC bits and rises with "

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# One-shot local mirror of CI: configure + build + ctest + cimlint for a
+# preset, plus clang-tidy over src/ when it is installed. Reproduces a red
+# CI run in one command.
+#
+# Usage:
+#   scripts/check.sh                 # relwithdebinfo (the tier-1 gate)
+#   scripts/check.sh asan-ubsan      # sanitizer matrix leg
+#   scripts/check.sh all             # every CI leg in sequence
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  local preset="$1"
+  echo "==> [$preset] configure"
+  cmake --preset "$preset"
+  echo "==> [$preset] build"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  if [[ "$preset" == "tsan" || "$preset" == "werror" ]]; then
+    # tsan/werror are build-only gates: tsan matters once the parallelism
+    # PRs land, werror proves the tree stays -Werror -Wconversion clean.
+    return 0
+  fi
+  echo "==> [$preset] ctest"
+  ctest --preset "$preset"
+  echo "==> [$preset] cimlint"
+  "./build/$preset/tools/cimlint/cimlint" --root . src bench examples tests
+}
+
+run_clang_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> clang-tidy not installed; skipping (CI runs it on changed files)"
+    return 0
+  fi
+  echo "==> clang-tidy (src/)"
+  local build_dir="build/relwithdebinfo"
+  [[ -f "$build_dir/compile_commands.json" ]] || cmake --preset relwithdebinfo
+  find src -name '*.cc' -print0 |
+    xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "$build_dir" --quiet
+}
+
+target="${1:-relwithdebinfo}"
+case "$target" in
+  all)
+    run_preset relwithdebinfo
+    run_preset asan-ubsan
+    run_preset tsan
+    run_preset werror
+    run_clang_tidy
+    ;;
+  *)
+    run_preset "$target"
+    run_clang_tidy
+    ;;
+esac
+
+echo "==> all checks passed"

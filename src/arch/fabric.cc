@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/contracts.h"
+
 namespace cim::arch {
 
 Expected<std::vector<double>> Tile::Process(std::span<const double> input,
@@ -213,12 +215,16 @@ void Fabric::ProcessAt(std::uint64_t stream_id, noc::NodeId node,
   const std::size_t next_index = path_index + 1;
   queue_.ScheduleAt(done_at, [this, stream_id, node, next_node, next_index,
                               start, result = std::move(*processed)] {
+    // Streams are never torn down today; operator[] here would silently
+    // materialize a default stream if that ever changes.
+    const auto fwd_it = streams_.find(stream_id);
+    CIM_CHECK(fwd_it != streams_.end());
     noc::Packet packet;
     packet.id = next_packet_id_++;
     packet.stream_id = stream_id;
     packet.source = node;
     packet.destination = next_node;
-    packet.qos = streams_[stream_id].qos;
+    packet.qos = fwd_it->second.qos;
     packet.kind = noc::PayloadKind::kData;
     packet.inline_payload = SerializeVector(result);
     packet.payload_bytes =

@@ -1,0 +1,38 @@
+#include "common/contracts.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cim {
+namespace {
+
+void DefaultHandler(const ContractViolation& violation) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n",  // cimlint: allow(banned-function)
+               violation.kind, violation.condition, violation.file,
+               violation.line);
+  std::fflush(stderr);
+}
+
+std::atomic<ContractFailureHandler> g_handler{&DefaultHandler};
+
+}  // namespace
+
+ContractFailureHandler SetContractFailureHandler(
+    ContractFailureHandler handler) {
+  if (handler == nullptr) handler = &DefaultHandler;
+  return g_handler.exchange(handler);
+}
+
+namespace internal {
+
+void ContractFail(const char* kind, const char* condition, const char* file,
+                  int line) {
+  (*g_handler.load())(ContractViolation{kind, condition, file, line});
+  // A returning handler cannot resume execution past a failed check; tests
+  // that want to survive a violation throw from their handler instead.
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace cim

@@ -1,0 +1,92 @@
+// Runtime correctness contracts.
+//
+// The simulator's Section-VI-style claims are only as trustworthy as its
+// internal consistency: a silently clamped index or an ignored error turns
+// into a wrong energy/latency ratio with no diagnostic. These macros make
+// the failure modes explicit:
+//
+//   CIM_CHECK(cond)            always-on invariant; violation invokes the
+//                              installed failure handler (default: log to
+//                              stderr and abort).
+//   CIM_DCHECK(cond)           as CIM_CHECK in debug builds; compiled to a
+//                              no-op (expression not evaluated) when NDEBUG
+//                              is defined. Use on hot paths.
+//   CIM_REQUIRE(cond, status)  in a Status/Expected-returning function:
+//                              return `status` when `cond` is false.
+//   CIM_RETURN_IF_ERROR(expr)  propagate a non-OK Status from `expr`.
+//
+// The failure handler is pluggable (SetContractFailureHandler) so tests can
+// observe violations without dying and embedders can route them into their
+// own crash reporting. If a handler returns normally, the process still
+// aborts: a failed CIM_CHECK means the caller's invariants no longer hold
+// and execution cannot safely continue past the check site.
+#pragma once
+
+#include "common/status.h"
+
+namespace cim {
+
+// Everything known about one contract violation, passed to the handler.
+struct ContractViolation {
+  const char* kind;       // "CIM_CHECK" or "CIM_DCHECK"
+  const char* condition;  // stringified condition text
+  const char* file;
+  int line;
+};
+
+using ContractFailureHandler = void (*)(const ContractViolation&);
+
+// Installs `handler` (nullptr restores the default) and returns the
+// previously installed handler. Thread-safe.
+ContractFailureHandler SetContractFailureHandler(
+    ContractFailureHandler handler);
+
+namespace internal {
+
+// Invokes the installed handler, then aborts if the handler returns.
+[[noreturn]] void ContractFail(const char* kind, const char* condition,
+                               const char* file, int line);
+
+}  // namespace internal
+}  // namespace cim
+
+#define CIM_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::cim::internal::ContractFail("CIM_CHECK", #cond, __FILE__,        \
+                                    __LINE__);                           \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+// The condition must still compile but is never evaluated.
+#define CIM_DCHECK(cond)             \
+  do {                               \
+    if (false) {                     \
+      static_cast<void>(cond);      \
+    }                                \
+  } while (false)
+#else
+#define CIM_DCHECK(cond)                                                 \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::cim::internal::ContractFail("CIM_DCHECK", #cond, __FILE__,       \
+                                    __LINE__);                           \
+    }                                                                    \
+  } while (false)
+#endif
+
+#define CIM_REQUIRE(cond, status_expr) \
+  do {                                 \
+    if (!(cond)) {                     \
+      return (status_expr);            \
+    }                                  \
+  } while (false)
+
+#define CIM_RETURN_IF_ERROR(expr)                       \
+  do {                                                  \
+    if (::cim::Status cim_status_ = (expr);             \
+        !cim_status_.ok()) {                            \
+      return cim_status_;                               \
+    }                                                   \
+  } while (false)

@@ -44,8 +44,9 @@ enum class ErrorCode {
 }
 
 // Status: an error code plus a human-readable message. The OK status carries
-// no message and is cheap to copy.
-class Status {
+// no message and is cheap to copy. The class itself is [[nodiscard]]: any
+// call that returns a Status must consume it (or explicitly cast to void).
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(ErrorCode code, std::string message)
@@ -105,8 +106,10 @@ inline Status DataCorruption(std::string msg) {
 }
 
 // Expected<T>: either a value or a Status explaining why there is none.
+// [[nodiscard]] on the class makes discarding a fallible result a warning
+// (an error under the `werror` preset) at every call site.
 template <typename T>
-class Expected {
+class [[nodiscard]] Expected {
  public:
   Expected(T value) : payload_(std::move(value)) {}           // NOLINT
   Expected(Status status) : payload_(std::move(status)) {}    // NOLINT

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.h"
+
 namespace cim::crossbar {
 
 Status CrossbarParams::Validate() const {
@@ -36,12 +38,12 @@ Crossbar::Crossbar(const CrossbarParams& params, Rng rng)
 
 Expected<CostReport> Crossbar::ProgramLevels(
     std::span<const std::uint64_t> levels) {
-  if (levels.size() != params_.rows * params_.cols) {
-    return InvalidArgument("level matrix size mismatch");
-  }
+  CIM_REQUIRE(levels.size() == params_.rows * params_.cols,
+              InvalidArgument("level matrix size mismatch"));
   const std::uint64_t max_level = params_.cell.levels() - 1;
   for (std::uint64_t level : levels) {
-    if (level > max_level) return OutOfRange("cell level exceeds cell_bits");
+    CIM_REQUIRE(level <= max_level,
+                OutOfRange("cell level exceeds cell_bits"));
   }
 
   CostReport total;
@@ -70,12 +72,10 @@ Expected<CostReport> Crossbar::ProgramLevels(
 
 Expected<CostReport> Crossbar::ProgramCell(std::size_t row, std::size_t col,
                                            std::uint64_t level) {
-  if (row >= params_.rows || col >= params_.cols) {
-    return OutOfRange("cell coordinate");
-  }
-  if (level > params_.cell.levels() - 1) {
-    return OutOfRange("cell level exceeds cell_bits");
-  }
+  CIM_REQUIRE(row < params_.rows && col < params_.cols,
+              OutOfRange("cell coordinate"));
+  CIM_REQUIRE(level <= params_.cell.levels() - 1,
+              OutOfRange("cell level exceeds cell_bits"));
   const device::ProgramResult pr =
       cells_[row * params_.cols + col].Program(params_.cell, level, rng_);
   CostReport cost;
@@ -93,6 +93,7 @@ double Crossbar::FullScaleCurrent() const {
 
 std::vector<double> Crossbar::IdealColumnCurrents(
     std::span<const std::uint64_t> row_codes) const {
+  CIM_CHECK(row_codes.size() == params_.rows);
   std::vector<double> currents(params_.cols, 0.0);
   for (std::size_t r = 0; r < params_.rows; ++r) {
     const double v = params_.dac.LevelVoltage(row_codes[r]);
@@ -106,16 +107,17 @@ std::vector<double> Crossbar::IdealColumnCurrents(
 
 Expected<AnalogCycleResult> Crossbar::Cycle(
     std::span<const std::uint64_t> row_codes, std::size_t active_cols) {
-  if (row_codes.size() != params_.rows) {
-    return InvalidArgument("row drive vector size mismatch");
-  }
-  if (active_cols == 0 || active_cols > params_.cols) {
-    active_cols = params_.cols;
-  }
+  CIM_REQUIRE(row_codes.size() == params_.rows,
+              InvalidArgument("row drive vector size mismatch"));
+  // 0 means "sense every column"; asking for more columns than exist was
+  // previously clamped silently, which hid caller bugs.
+  CIM_REQUIRE(active_cols <= params_.cols,
+              InvalidArgument("active_cols exceeds crossbar width"));
+  if (active_cols == 0) active_cols = params_.cols;
   const std::uint64_t max_code =
       (std::uint64_t{1} << params_.dac.bits) - 1;
   for (std::uint64_t code : row_codes) {
-    if (code > max_code) return OutOfRange("DAC code exceeds dac.bits");
+    CIM_REQUIRE(code <= max_code, OutOfRange("DAC code exceeds dac.bits"));
   }
 
   AnalogCycleResult result;
@@ -170,16 +172,15 @@ Expected<AnalogCycleResult> Crossbar::Cycle(
 
 Expected<AnalogCycleResult> Crossbar::CycleTranspose(
     std::span<const std::uint64_t> col_codes, std::size_t active_rows) {
-  if (col_codes.size() != params_.cols) {
-    return InvalidArgument("column drive vector size mismatch");
-  }
-  if (active_rows == 0 || active_rows > params_.rows) {
-    active_rows = params_.rows;
-  }
+  CIM_REQUIRE(col_codes.size() == params_.cols,
+              InvalidArgument("column drive vector size mismatch"));
+  CIM_REQUIRE(active_rows <= params_.rows,
+              InvalidArgument("active_rows exceeds crossbar height"));
+  if (active_rows == 0) active_rows = params_.rows;
   const std::uint64_t max_code =
       (std::uint64_t{1} << params_.dac.bits) - 1;
   for (std::uint64_t code : col_codes) {
-    if (code > max_code) return OutOfRange("DAC code exceeds dac.bits");
+    CIM_REQUIRE(code <= max_code, OutOfRange("DAC code exceeds dac.bits"));
   }
 
   AnalogCycleResult result;
@@ -229,7 +230,8 @@ void Crossbar::Age(TimeNs elapsed) {
 
 void Crossbar::InjectCellFault(std::size_t row, std::size_t col,
                                device::CellFault fault) {
-  cells_.at(row * params_.cols + col).InjectFault(fault);
+  CIM_CHECK(row < params_.rows && col < params_.cols);
+  cells_[row * params_.cols + col].InjectFault(fault);
 }
 
 std::size_t Crossbar::CountFaultedCells() const {

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -100,6 +101,7 @@ class Crossbar {
   // Direct cell access for white-box tests.
   [[nodiscard]] const device::MemristorCell& cell(std::size_t row,
                                                   std::size_t col) const {
+    CIM_DCHECK(row < params_.rows && col < params_.cols);
     return cells_[row * params_.cols + col];
   }
 

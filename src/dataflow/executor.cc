@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/contracts.h"
+
 namespace cim::dataflow {
 
 Expected<std::unique_ptr<DataflowExecutor>> DataflowExecutor::Create(
@@ -49,7 +51,12 @@ Expected<std::unique_ptr<DataflowExecutor>> DataflowExecutor::Create(
       exec->noc_->SetDeliveryHandler(
           {x, y}, [self, node_order](const noc::Delivery& delivery) {
             const std::size_t node_index = delivery.packet.stream_id;
-            if (node_index >= node_order.size()) return;
+            if (node_index >= node_order.size()) {
+              // Packets carry the destination node's topological index; an
+              // index past the graph means a corrupted or foreign packet.
+              ++self->wave_errors_;
+              return;
+            }
             auto payload =
                 arch::DeserializeVector(delivery.packet.inline_payload);
             if (!payload.ok()) {
@@ -138,15 +145,19 @@ void DataflowExecutor::FireNode(const std::string& node) {
     sink_outputs_[node] = std::move(output.value());
     return;
   }
-  // Emit to every successor after the node's processing latency.
+  // Emit to every successor after the node's processing latency. The graph
+  // validated as a DAG at Create() time, so the topological order exists.
   auto order = graph_.TopologicalOrder();
-  const std::vector<std::string> node_order = order.ok() ? *order
-                                                         : std::vector<std::string>{};
+  CIM_CHECK(order.ok());
+  const std::vector<std::string>& node_order = *order;
   for (const std::string& succ : successors) {
-    std::size_t succ_index = 0;
+    std::size_t succ_index = node_order.size();
     for (std::size_t i = 0; i < node_order.size(); ++i) {
       if (node_order[i] == succ) succ_index = i;
     }
+    // A successor missing from the topological order would previously fall
+    // back to index 0 and silently misroute its payload.
+    CIM_CHECK(succ_index < node_order.size());
     noc::Packet packet;
     packet.id = next_packet_id_++;
     packet.stream_id = succ_index;

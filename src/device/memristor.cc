@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.h"
+
 namespace cim::device {
 
 double MemristorParams::LevelConductance(std::uint64_t level) const {
+  // Out-of-range levels are a caller bug: the silent std::min clamp here
+  // used to masquerade as a legitimate g_on programming target.
+  CIM_DCHECK(level < levels());
   const auto top = static_cast<double>(levels() - 1);
   const double frac =
       top > 0.0 ? static_cast<double>(std::min(level, levels() - 1)) / top
@@ -32,6 +37,7 @@ Status MemristorParams::Validate() const {
 
 ProgramResult MemristorCell::Program(const MemristorParams& p,
                                      std::uint64_t level, Rng& rng) {
+  CIM_DCHECK(level < p.levels());
   const double target = p.LevelConductance(level);
   const double step =
       (p.g_on_siemens - p.g_off_siemens) / static_cast<double>(p.levels() - 1);

@@ -90,8 +90,8 @@ Expected<InferenceEstimate> AnalyticalDpeModel::EstimateInference(
   for (const LayerMapping& m : *mappings) {
     if (m.kind == "pool") {
       // Digital comparator pass, pipelined with the conv layers.
-      const double elements =
-          static_cast<double>(m.mvm_invocations) * m.out_dim;
+      const double elements = static_cast<double>(m.mvm_invocations) *
+                              static_cast<double>(m.out_dim);
       est.energy_pj += elements * params_.activation_energy_pj;
       est.buffer_bytes += elements;  // one byte per activation through eDRAM
       continue;
@@ -125,14 +125,14 @@ Expected<InferenceEstimate> AnalyticalDpeModel::EstimateInference(
     const double avg_active_rows =
         static_cast<double>(m.in_dim) / static_cast<double>(m.row_tiles);
     const double arrays_per_invocation =
-        static_cast<double>(m.arrays) / replication;
+        static_cast<double>(m.arrays) / static_cast<double>(replication);
     const double analog_energy_per_inv =
         arrays_per_invocation * params_.input_bits *
         params_.CycleEnergyPj(static_cast<std::size_t>(avg_active_rows),
                               used_cols);
     // Digital merge: shift-and-add across slices, planes and row tiles.
     const double shift_add_per_inv =
-        static_cast<double>(m.out_dim) * m.row_tiles * params_.input_bits *
+        static_cast<double>(m.out_dim * m.row_tiles) * params_.input_bits *
         params_.shift_add_energy_pj;
     const double activation_per_inv =
         static_cast<double>(m.out_dim) * params_.activation_energy_pj;
@@ -165,7 +165,7 @@ Expected<InferenceEstimate> AnalyticalDpeModel::EstimateInference(
         std::max(est.program_latency_ns,
                  static_cast<double>(rows) * per_row_program);
     est.program_energy_pj +=
-        static_cast<double>(m.arrays) * static_cast<double>(rows) * cols *
+        static_cast<double>(m.arrays * rows * cols) *
         (params_.array.cell.write_energy.pj + params_.array.cell.read_energy.pj);
   }
 

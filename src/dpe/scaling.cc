@@ -64,7 +64,7 @@ Expected<ScalingReport> MultiBoardModel::Evaluate(
   // conservatively use the full single-inference latency as the initiation
   // interval (no intra-replica overlap), letting replicas scale linearly.
   const double base_throughput =
-      report.replicas * 1e9 / report.single_latency_ns;
+      static_cast<double>(report.replicas) * 1e9 / report.single_latency_ns;
   report.throughput_per_sec = base_throughput;
   report.scaling_efficiency =
       base_throughput /

@@ -286,8 +286,8 @@ Network BuildCnn(const std::string& name, std::size_t channels,
     conv.padding = k / 2;
     conv.weights.resize(out_c * in_c * k * k);
     conv.bias.resize(out_c);
-    const double scale =
-        std::sqrt(2.0 / (static_cast<double>(in_c) * k * k));
+    const double fan_in = static_cast<double>(in_c * k * k);
+    const double scale = std::sqrt(2.0 / fan_in);
     for (auto& w : conv.weights) w = rng.Gaussian(0.0, scale);
     for (auto& b : conv.bias) b = 0.0;
     return conv;

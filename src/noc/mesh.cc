@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/contracts.h"
+
 namespace cim::noc {
 
 Expected<MeshNoc> MeshNoc::Create(const MeshParams& params,
@@ -30,7 +32,9 @@ NodeId MeshNoc::Neighbor(NodeId n, Direction dir) {
 }
 
 void MeshNoc::SetDeliveryHandler(NodeId node, DeliveryHandler handler) {
-  if (!InBounds(node)) return;
+  // Wiring a handler to a node outside the mesh was silently ignored, which
+  // turned topology bugs into "handler never fires" mysteries.
+  CIM_CHECK(InBounds(node));
   nodes_[NodeIndex(node)].handler = std::move(handler);
 }
 
@@ -118,6 +122,7 @@ void MeshNoc::Drop(const Packet& packet, DropReason reason) {
 }
 
 void MeshNoc::ArriveAt(Packet packet, NodeId node, int hops) {
+  CIM_DCHECK(InBounds(node));
   if (nodes_[NodeIndex(node)].failed) {
     Drop(packet, DropReason::kNodeFailed);
     return;

@@ -1,0 +1,276 @@
+// Unit tests for the cim-lint rule engine (tools/cimlint). Each rule gets a
+// firing case and a suppression case; the final test asserts the real tree
+// is clean, so a convention regression fails the unit suite too, not just
+// the dedicated `cimlint` ctest target.
+#include "cimlint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace cimlint {
+namespace {
+
+using Files = std::vector<SourceFile>;
+
+[[nodiscard]] std::vector<Finding> RuleFindings(
+    const std::vector<Finding>& findings, const std::string& rule) {
+  std::vector<Finding> out;
+  std::copy_if(findings.begin(), findings.end(), std::back_inserter(out),
+               [&](const Finding& f) { return f.rule == rule; });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// pragma-once
+// ---------------------------------------------------------------------------
+
+TEST(PragmaOnceRule, FiresOnHeaderWithoutPragma) {
+  const Files files = {{"src/foo/bar.h", "int Answer();\n"}};
+  const auto findings = RuleFindings(LintFiles(files), "pragma-once");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/foo/bar.h");
+}
+
+TEST(PragmaOnceRule, CleanWhenPresentAndIgnoresNonHeaders) {
+  const Files files = {{"src/foo/bar.h", "#pragma once\nint Answer();\n"},
+                       {"src/foo/bar.cc", "int Answer() { return 42; }\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "pragma-once").empty());
+}
+
+TEST(PragmaOnceRule, SuppressedByCommentOnFirstLine) {
+  const Files files = {
+      {"src/foo/bar.h",
+       "// generated header, cimlint: allow(pragma-once)\nint Answer();\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "pragma-once").empty());
+}
+
+// ---------------------------------------------------------------------------
+// using-namespace-header
+// ---------------------------------------------------------------------------
+
+TEST(UsingNamespaceRule, FiresInHeaderOnly) {
+  const Files files = {
+      {"src/a.h", "#pragma once\nusing namespace std;\n"},
+      {"src/a.cc", "using namespace std;\n"}};  // allowed in a .cc
+  const auto findings =
+      RuleFindings(LintFiles(files), "using-namespace-header");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/a.h");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(UsingNamespaceRule, IgnoresCommentsAndSuppressions) {
+  const Files files = {
+      {"src/a.h",
+       "#pragma once\n"
+       "// using namespace std; (just a comment)\n"
+       "using namespace std;  // cimlint: allow(using-namespace-header)\n"}};
+  EXPECT_TRUE(
+      RuleFindings(LintFiles(files), "using-namespace-header").empty());
+}
+
+// ---------------------------------------------------------------------------
+// raw-rng
+// ---------------------------------------------------------------------------
+
+TEST(RawRngRule, FiresOnEveryBannedSource) {
+  const Files files = {{"src/noise.cc",
+                        "#include <random>\n"
+                        "std::mt19937 gen;\n"
+                        "std::random_device rd;\n"
+                        "int a = rand();\n"
+                        "void Seed() { srand(42); }\n"}};
+  const auto findings = RuleFindings(LintFiles(files), "raw-rng");
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+TEST(RawRngRule, AllowedInRngHeaderAndSuppressible) {
+  const Files files = {
+      {"src/common/rng.h", "#pragma once\nstd::mt19937 reference_stream;\n"},
+      {"src/noise.cc",
+       "// cimlint: allow(raw-rng)\n"
+       "std::mt19937 legacy;\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "raw-rng").empty());
+}
+
+TEST(RawRngRule, DoesNotFireOnIdentifiersContainingRand) {
+  const Files files = {{"src/ok.cc",
+                        "int operand(int x);\n"
+                        "int y = operand(1);\n"
+                        "double grand_total = 0.0;\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "raw-rng").empty());
+}
+
+// ---------------------------------------------------------------------------
+// magic-unit-literal
+// ---------------------------------------------------------------------------
+
+TEST(MagicUnitLiteralRule, FiresOnExpressionPositionLiterals) {
+  const Files files = {{"src/model.cc",
+                        "TimeNs Latency() { return TimeNs(12.5); }\n"
+                        "EnergyPj Cost() { return EnergyPj{3.0}; }\n"
+                        "TimeNs Window() { return TimeNs::Micros(2.0); }\n"}};
+  EXPECT_EQ(RuleFindings(LintFiles(files), "magic-unit-literal").size(), 3u);
+}
+
+TEST(MagicUnitLiteralRule, AllowsZeroNamedDefaultsParamsAndTests) {
+  const Files files = {
+      {"src/model.cc", "void F(Q* q) { q->ScheduleAfter(TimeNs(0.0)); }\n"},
+      {"src/params_like.h",
+       "#pragma once\nstruct P { TimeNs read_latency{10.0}; };\n"},
+      {"src/dpe/params.h", "#pragma once\nTimeNs kCycle = TimeNs(1.25);\n"},
+      {"src/common/units.h", "#pragma once\nTimeNs kTick = TimeNs(1.0);\n"},
+      {"tests/t.cc", "auto t = TimeNs(30.0);\n"},
+      {"bench/b.cc", "auto t = EnergyPj(7.0);\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "magic-unit-literal").empty());
+}
+
+TEST(MagicUnitLiteralRule, Suppressible) {
+  const Files files = {
+      {"src/model.cc",
+       "// one-off calibration point, cimlint: allow(magic-unit-literal)\n"
+       "TimeNs Calibration() { return TimeNs(7.5); }\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "magic-unit-literal").empty());
+}
+
+// ---------------------------------------------------------------------------
+// banned-function
+// ---------------------------------------------------------------------------
+
+TEST(BannedFunctionRule, FiresOnPrintfInLibraryCode) {
+  const Files files = {{"src/module.cc",
+                        "#include <cstdio>\n"
+                        "void Dump() { std::printf(\"x\"); }\n"
+                        "void Warn() { fprintf(stderr, \"y\"); }\n"}};
+  EXPECT_EQ(RuleFindings(LintFiles(files), "banned-function").size(), 2u);
+}
+
+TEST(BannedFunctionRule, AllowsLoggerExecutablesAndSnprintf) {
+  const Files files = {
+      {"src/common/log.cc", "void W() { fprintf(stderr, \"z\"); }\n"},
+      {"bench/table.cc", "int main() { std::printf(\"row\\n\"); }\n"},
+      {"src/fmt.cc", "void F(char* b) { snprintf(b, 4, \"q\"); }\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "banned-function").empty());
+}
+
+TEST(BannedFunctionRule, FiresOnExitOutsideMain) {
+  const Files files = {
+      {"src/module.cc", "void Die() { exit(1); }\n"},
+      {"examples/tool.cc", "int main() { std::exit(0); }\n"},
+      {"src/registry.cc", "void Hook() { atexit(nullptr); }\n"}};
+  const auto findings = RuleFindings(LintFiles(files), "banned-function");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/module.cc");
+}
+
+TEST(BannedFunctionRule, Suppressible) {
+  const Files files = {
+      {"src/module.cc",
+       "void Die() { exit(1); }  // cimlint: allow(banned-function)\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "banned-function").empty());
+}
+
+// ---------------------------------------------------------------------------
+// unused-status
+// ---------------------------------------------------------------------------
+
+constexpr const char* kStatusHeader =
+    "#pragma once\n"
+    "struct Engine {\n"
+    "  Status Start();\n"
+    "  Expected<int> Measure();\n"
+    "};\n"
+    "Status Calibrate();\n";
+
+TEST(UnusedStatusRule, FiresOnDiscardedStatementCalls) {
+  const Files files = {
+      {"src/engine.h", kStatusHeader},
+      {"src/use.cc",
+       "void Run(Engine& e) {\n"
+       "  e.Start();\n"        // discarded Status
+       "  e.Measure();\n"      // discarded Expected<int>
+       "  Calibrate();\n"      // discarded free-function Status
+       "}\n"}};
+  const auto findings = RuleFindings(LintFiles(files), "unused-status");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(UnusedStatusRule, CleanWhenResultIsConsumed) {
+  const Files files = {
+      {"src/engine.h", kStatusHeader},
+      {"src/use.cc",
+       "Status Run(Engine& e) {\n"
+       "  Status s = e.Start();\n"
+       "  if (Status c = Calibrate(); !c.ok()) return c;\n"
+       "  (void)e.Measure();\n"  // explicit discard is the sanctioned form
+       "  return s;\n"
+       "}\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "unused-status").empty());
+}
+
+TEST(UnusedStatusRule, SkipsAmbiguousNames) {
+  // `Reset` returns Status on Engine but void on Widget: statement-position
+  // calls cannot be attributed by a token scanner, so the rule stays quiet
+  // and leaves those to the compiler's [[nodiscard]].
+  const Files files = {
+      {"src/engine.h", "#pragma once\nstruct E { Status Reset(); };\n"},
+      {"src/widget.h", "#pragma once\nstruct W { void Reset(); };\n"},
+      {"src/use.cc", "void Run(E& e, W& w) {\n  e.Reset();\n  w.Reset();\n}\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "unused-status").empty());
+}
+
+TEST(UnusedStatusRule, Suppressible) {
+  const Files files = {
+      {"src/engine.h", kStatusHeader},
+      {"src/use.cc",
+       "void Run(Engine& e) {\n"
+       "  // best-effort warm-up, cimlint: allow(unused-status)\n"
+       "  e.Start();\n"
+       "}\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "unused-status").empty());
+}
+
+TEST(CollectStatusFunctions, FindsDeclarationsAndFiltersAmbiguity) {
+  const Files files = {
+      {"src/a.h",
+       "#pragma once\n"
+       "Status Alpha();\n"
+       "Expected<std::vector<double>> Beta(int n);\n"
+       "void Gamma();\n"},
+      {"src/b.h", "#pragma once\nvoid Alpha(int overload);\n"}};
+  const auto names = CollectStatusFunctions(files);
+  EXPECT_EQ(names.count("Beta"), 1u);
+  EXPECT_EQ(names.count("Alpha"), 0u);  // ambiguous: void overload in b.h
+  EXPECT_EQ(names.count("Gamma"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// File-level suppression and the real tree
+// ---------------------------------------------------------------------------
+
+TEST(Suppression, AllowFileCoversEveryOccurrence) {
+  const Files files = {{"src/noise.cc",
+                        "// cimlint: allow-file(raw-rng)\n"
+                        "std::mt19937 a;\n"
+                        "std::mt19937 b;\n"
+                        "int c = rand();\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "raw-rng").empty());
+}
+
+#ifdef CIMLINT_REPO_ROOT
+TEST(RepoTree, IsCleanUnderAllRules) {
+  const std::vector<Finding> findings =
+      LintTree(CIMLINT_REPO_ROOT, {"src", "bench", "examples", "tests"});
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] "
+                  << f.message;
+  }
+}
+#endif
+
+}  // namespace
+}  // namespace cimlint

@@ -1,0 +1,107 @@
+// Tests for the runtime contract macros (common/contracts.h): death on
+// violated checks, pluggable failure handlers, and Status propagation.
+#include "common/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/status.h"
+
+namespace cim {
+namespace {
+
+TEST(ContractsDeathTest, CheckFailureAbortsWithDiagnostic) {
+  EXPECT_DEATH(CIM_CHECK(1 + 1 == 3), "CIM_CHECK failed: 1 \\+ 1 == 3");
+}
+
+TEST(ContractsTest, CheckPassesSilently) {
+  CIM_CHECK(2 + 2 == 4);  // must not die
+}
+
+#ifndef NDEBUG
+TEST(ContractsDeathTest, DcheckFiresInDebugBuilds) {
+  EXPECT_DEATH(CIM_DCHECK(false), "CIM_DCHECK failed: false");
+}
+#else
+TEST(ContractsTest, DcheckDoesNotEvaluateInReleaseBuilds) {
+  int evaluations = 0;
+  CIM_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+// A handler that throws lets a test observe the violation without dying;
+// throwing out of the (noreturn) failure path is the sanctioned escape
+// hatch for tests.
+struct ContractViolationError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void ThrowingHandler(const ContractViolation& violation) {
+  throw ContractViolationError(std::string(violation.kind) + ": " +
+                               violation.condition);
+}
+
+class HandlerOverrideTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_ = SetContractFailureHandler(&ThrowingHandler);
+  }
+  void TearDown() override { (void)SetContractFailureHandler(previous_); }
+  ContractFailureHandler previous_ = nullptr;
+};
+
+TEST_F(HandlerOverrideTest, InstalledHandlerObservesViolation) {
+  try {
+    CIM_CHECK(false && "custom handler");
+    FAIL() << "CIM_CHECK did not invoke the handler";
+  } catch (const ContractViolationError& e) {
+    EXPECT_NE(std::string(e.what()).find("CIM_CHECK"), std::string::npos);
+  }
+}
+
+TEST_F(HandlerOverrideTest, SetHandlerReturnsPrevious) {
+  // Inside the fixture the current handler is ThrowingHandler; swapping it
+  // out must hand it back.
+  ContractFailureHandler current = SetContractFailureHandler(nullptr);
+  EXPECT_EQ(current, &ThrowingHandler);
+  // nullptr restored the default; reinstate ThrowingHandler for TearDown.
+  (void)SetContractFailureHandler(&ThrowingHandler);
+}
+
+Status GuardedOperation(int value) {
+  CIM_REQUIRE(value >= 0, InvalidArgument("value must be non-negative"));
+  CIM_REQUIRE(value < 100, OutOfRange("value must be below 100"));
+  return Status::Ok();
+}
+
+TEST(ContractsTest, RequirePropagatesFailingStatus) {
+  EXPECT_TRUE(GuardedOperation(5).ok());
+  EXPECT_EQ(GuardedOperation(-1).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(GuardedOperation(500).code(), ErrorCode::kOutOfRange);
+}
+
+Expected<int> GuardedFactory(int value) {
+  CIM_REQUIRE(value != 0, InvalidArgument("value must be non-zero"));
+  return value * 2;
+}
+
+TEST(ContractsTest, RequireWorksInExpectedReturningFunctions) {
+  EXPECT_EQ(GuardedFactory(21).value(), 42);
+  EXPECT_EQ(GuardedFactory(0).status().code(), ErrorCode::kInvalidArgument);
+}
+
+Status ChainedOperation(int value) {
+  CIM_RETURN_IF_ERROR(GuardedOperation(value));
+  return Status::Ok();
+}
+
+TEST(ContractsTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(ChainedOperation(5).ok());
+  EXPECT_EQ(ChainedOperation(-1).code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cim

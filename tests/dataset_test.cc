@@ -107,7 +107,8 @@ TEST(DatasetTest, ClustersAreLinearlySeparableEnough) {
     }
     if (best == data->labels[i]) ++correct;
   }
-  EXPECT_GT(static_cast<double>(correct) / data->size(), 0.95);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(data->size()),
+            0.95);
 }
 
 }  // namespace

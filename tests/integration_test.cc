@@ -59,7 +59,9 @@ TEST(Integration, MlpCompiledOntoDataflowFabricMatchesGolden) {
     ASSERT_TRUE(graph.AddNode(dataflow::GraphNode{name, std::move(program),
                                                   std::move(mvm)})
                     .ok());
-    if (i > 0) ASSERT_TRUE(graph.AddEdge(names[i - 1], name).ok());
+    if (i > 0) {
+      ASSERT_TRUE(graph.AddEdge(names[i - 1], name).ok());
+    }
   }
   ASSERT_TRUE(graph.Validate().ok());
 
@@ -129,7 +131,9 @@ TEST(Integration, SecuredGuardedStreamSurvivesTileFailure) {
   ASSERT_TRUE(guardian.ok());
 
   for (int i = 0; i < 20; ++i) {
-    if (i == 10) ASSERT_TRUE(f.FailTile({1, 0}).ok());
+    if (i == 10) {
+      ASSERT_TRUE(f.FailTile({1, 0}).ok());
+    }
     ASSERT_TRUE((*guardian)->Inject({static_cast<double>(i)}).ok());
     f.queue().Run();
     (*guardian)->Poll();

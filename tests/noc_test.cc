@@ -274,9 +274,8 @@ TEST_P(NocDeliveryProperty, AllPacketsDeliveredExactlyOnce) {
                      static_cast<std::uint16_t>(rng.NextBounded(5))};
     const NodeId dst{static_cast<std::uint16_t>(rng.NextBounded(5)),
                      static_cast<std::uint16_t>(rng.NextBounded(5))};
-    ASSERT_TRUE(noc->Inject(MakePacket(i, src, dst,
-                                       32 + rng.NextBounded(256)))
-                    .ok());
+    const auto bytes = static_cast<std::uint32_t>(32 + rng.NextBounded(256));
+    ASSERT_TRUE(noc->Inject(MakePacket(i, src, dst, bytes)).ok());
   }
   queue.Run();
   for (int i = 1; i <= packet_count; ++i) {

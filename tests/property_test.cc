@@ -38,7 +38,9 @@ TEST_P(CipherProperty, RoundTripAndTamperDetection) {
     if (!data.empty()) {
       // Encryption must change the buffer (overwhelmingly likely).
       // Skip the check for tiny buffers where collision odds matter.
-      if (data.size() >= 8) EXPECT_NE(data, original);
+      if (data.size() >= 8) {
+        EXPECT_NE(data, original);
+      }
     }
     cipher.Apply(data, nonce);
     ASSERT_EQ(data, original);

@@ -1,0 +1,425 @@
+#include "cimlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <utility>
+
+namespace cimlint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source stripping: split a file into per-line code text (string-literal and
+// comment contents blanked out) and per-line comment text (for suppression
+// lookup). A small hand-rolled scanner handles //, /* */, "..."/'...' and
+// the common R"( ... )" raw-string form across line boundaries.
+// ---------------------------------------------------------------------------
+
+struct StrippedFile {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+};
+
+StrippedFile Strip(const std::string& content) {
+  enum class State {
+    kNormal,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  StrippedFile out;
+  std::string code_line;
+  std::string comment_line;
+  State state = State::kNormal;
+  std::string raw_delim;  // ")delim\"" terminator for raw strings
+  const std::size_t n = content.size();
+
+  auto flush_line = [&] {
+    out.code.push_back(code_line);
+    out.comments.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kNormal;
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kNormal:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (std::isalnum(static_cast<unsigned char>(
+                                   content[i - 1])) == 0 &&
+                               content[i - 1] != '_'))) {
+          // Raw string: R"delim( ... )delim"
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < n && content[j] != '(' && content[j] != '\n') {
+            delim += content[j++];
+          }
+          raw_delim = ")" + delim + "\"";
+          code_line += "\"\"";
+          state = State::kRawString;
+          i = j;  // at '(' (or newline, handled next iteration)
+        } else if (c == '"') {
+          code_line += '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kChar;
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kNormal;
+          ++i;
+        } else {
+          comment_line += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // skip escaped char
+        } else if (c == '"') {
+          code_line += '"';
+          state = State::kNormal;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kNormal;
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kNormal;
+        }
+        break;
+    }
+  }
+  flush_line();
+  return out;
+}
+
+[[nodiscard]] std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+[[nodiscard]] bool EndsWith(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+[[nodiscard]] bool IsHeader(const std::string& path) {
+  return EndsWith(path, ".h") || EndsWith(path, ".hpp");
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `// cimlint: allow(<rule>)` on the finding's line or the
+// line directly above; `// cimlint: allow-file(<rule>)` anywhere.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] bool CommentAllows(const std::string& comment,
+                                 const std::string& rule, bool file_scope) {
+  const std::string needle =
+      std::string("cimlint: ") + (file_scope ? "allow-file(" : "allow(") +
+      rule + ")";
+  return comment.find(needle) != std::string::npos;
+}
+
+[[nodiscard]] bool Suppressed(const StrippedFile& stripped, std::size_t line_index,
+                              const std::string& rule) {
+  for (const std::string& comment : stripped.comments) {
+    if (CommentAllows(comment, rule, /*file_scope=*/true)) return true;
+  }
+  if (CommentAllows(stripped.comments[line_index], rule, false)) return true;
+  if (line_index > 0 &&
+      CommentAllows(stripped.comments[line_index - 1], rule, false)) {
+    return true;
+  }
+  return false;
+}
+
+void Report(std::vector<Finding>& findings, const SourceFile& file,
+            const StrippedFile& stripped, std::size_t line_index,
+            const std::string& rule, std::string message) {
+  if (Suppressed(stripped, line_index, rule)) return;
+  findings.push_back(
+      Finding{file.repo_path, line_index + 1, rule, std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+void CheckPragmaOnce(const SourceFile& file, const StrippedFile& stripped,
+                     std::vector<Finding>& findings) {
+  if (!IsHeader(file.repo_path)) return;
+  for (const std::string& line : stripped.code) {
+    if (line.find("#pragma once") != std::string::npos) return;
+  }
+  Report(findings, file, stripped, 0, "pragma-once",
+         "header is missing #pragma once");
+}
+
+void CheckUsingNamespace(const SourceFile& file, const StrippedFile& stripped,
+                         std::vector<Finding>& findings) {
+  if (!IsHeader(file.repo_path)) return;
+  static const std::regex kUsingNamespace(R"(\busing\s+namespace\b)");
+  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
+    if (std::regex_search(stripped.code[i], kUsingNamespace)) {
+      Report(findings, file, stripped, i, "using-namespace-header",
+             "`using namespace` in a header leaks into every includer");
+    }
+  }
+}
+
+void CheckRawRng(const SourceFile& file, const StrippedFile& stripped,
+                 std::vector<Finding>& findings) {
+  if (file.repo_path == "src/common/rng.h") return;
+  static const std::regex kStdRng(
+      R"(std\s*::\s*(rand|srand|random_device|mt19937(_64)?)\b)");
+  static const std::regex kBareRand(R"((^|[^\w:.>])(rand|srand)\s*\()");
+  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
+    if (std::regex_search(stripped.code[i], kStdRng) ||
+        std::regex_search(stripped.code[i], kBareRand)) {
+      Report(findings, file, stripped, i, "raw-rng",
+             "non-deterministic RNG source; use cim::Rng (common/rng.h)");
+    }
+  }
+}
+
+void CheckMagicUnitLiteral(const SourceFile& file,
+                           const StrippedFile& stripped,
+                           std::vector<Finding>& findings) {
+  // Only model code is in scope: tests/benches build ad-hoc unit values as
+  // test vectors, and the two parameter headers are the sanctioned homes
+  // for hardware constants.
+  if (file.repo_path.rfind("src/", 0) != 0) return;
+  if (file.repo_path == "src/dpe/params.h" ||
+      file.repo_path == "src/common/units.h") {
+    return;
+  }
+  // Expression-position construction from a literal: TimeNs(12.5),
+  // EnergyPj{3.0}, TimeNs::Micros(2.0). A named member default
+  // (`TimeNs read_latency{10.0};`) is self-documenting and allowed.
+  static const std::regex kUnitLiteral(
+      R"(\b(TimeNs|EnergyPj)\s*(::\s*(Micros|Millis|Seconds|Nano|Micro|Milli)\s*)?[({]\s*([0-9][0-9'\.eE+\-]*))");
+  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
+    for (std::sregex_iterator it(stripped.code[i].begin(),
+                                 stripped.code[i].end(), kUnitLiteral),
+         end;
+         it != end; ++it) {
+      const double value = std::strtod((*it)[4].str().c_str(), nullptr);
+      if (value == 0.0) continue;  // zero is "nothing", not a magic constant
+      Report(findings, file, stripped, i, "magic-unit-literal",
+             "magic " + (*it)[1].str() +
+                 " literal; name it in a params struct (see src/dpe/params.h)");
+      break;
+    }
+  }
+}
+
+void CheckBannedFunctions(const SourceFile& file, const StrippedFile& stripped,
+                          std::vector<Finding>& findings) {
+  static const std::regex kPrintf(R"((^|[^\w])((std\s*::\s*)?f?printf)\s*\()");
+  static const std::regex kExit(R"((^|[^\w])((std\s*::\s*)?exit)\s*\()");
+  static const std::regex kMain(R"(\bint\s+main\s*\()");
+  bool defines_main = false;
+  for (const std::string& line : stripped.code) {
+    if (std::regex_search(line, kMain)) {
+      defines_main = true;
+      break;
+    }
+  }
+  // Library code must route output through the logger; bench/ and examples/
+  // executables exist to print tables.
+  const bool printf_allowed = file.repo_path.rfind("src/", 0) != 0 ||
+                              file.repo_path == "src/common/log.cc";
+  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
+    if (!printf_allowed && std::regex_search(stripped.code[i], kPrintf)) {
+      Report(findings, file, stripped, i, "banned-function",
+             "printf-family output outside common/log.cc; use LogMessage");
+    }
+    if (!defines_main && std::regex_search(stripped.code[i], kExit)) {
+      Report(findings, file, stripped, i, "banned-function",
+             "exit() outside a main() file; return a Status instead");
+    }
+  }
+}
+
+void CheckUnusedStatus(const SourceFile& file, const StrippedFile& stripped,
+                       const std::set<std::string>& status_functions,
+                       std::vector<Finding>& findings) {
+  // A call in statement position whose callee is declared to return
+  // Status/Expected<T>. Statement position: the previous non-blank code
+  // line ended a statement/block (or this is the first line).
+  static const std::regex kBareCall(
+      R"(^\s*((?:[A-Za-z_]\w*(?:\[[^\]]*\])?\s*(?:\.|->)\s*)*)([A-Za-z_]\w*)\s*\()");
+  std::string prev_nonblank;
+  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
+    const std::string trimmed = Trim(stripped.code[i]);
+    if (trimmed.empty()) continue;
+    const std::string prev = prev_nonblank;
+    prev_nonblank = trimmed;
+    if (trimmed[0] == '#') continue;  // preprocessor
+    const bool statement_start =
+        prev.empty() || EndsWith(prev, ";") || EndsWith(prev, "{") ||
+        EndsWith(prev, "}") || EndsWith(prev, ")") || EndsWith(prev, ":") ||
+        prev[0] == '#';
+    if (!statement_start) continue;
+    std::smatch m;
+    if (!std::regex_search(stripped.code[i], m, kBareCall)) continue;
+    const std::string callee = m[2].str();
+    if (status_functions.count(callee) == 0) continue;
+    Report(findings, file, stripped, i, "unused-status",
+           "result of '" + callee +
+               "' (returns Status/Expected) is discarded; handle it or "
+               "cast to void");
+  }
+}
+
+}  // namespace
+
+std::set<std::string> CollectStatusFunctions(
+    const std::vector<SourceFile>& files) {
+  static const std::regex kStatusDeclaration(
+      R"((?:\bStatus|\bExpected\s*<[^;{}=()]*>)\s+((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)\s*\()");
+  // Line-anchored declaration with some other return type; used to drop
+  // ambiguous names (a void overload elsewhere would make the
+  // statement-position heuristic fire on perfectly fine calls).
+  static const std::regex kOtherDeclaration(
+      R"((?:^|[;{:])\s*(?:(?:static|virtual|inline|constexpr|explicit|friend)\s+)*(?:const\s+)?([A-Za-z_][\w:]*(?:<[^;{}]*>)?)\s*[&*]?\s+((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)\s*\()");
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",   "while",  "switch", "return", "operator",
+      "sizeof", "new",   "delete", "throw",  "case",   "else",
+      "do",     "goto",  "using",  "typedef"};
+  std::set<std::string> status_names;
+  std::set<std::string> other_names;
+  for (const SourceFile& file : files) {
+    const StrippedFile stripped = Strip(file.content);
+    std::string joined;
+    for (const std::string& line : stripped.code) {
+      joined += line;
+      joined += '\n';
+    }
+    for (std::sregex_iterator it(joined.begin(), joined.end(),
+                                 kStatusDeclaration),
+         end;
+         it != end; ++it) {
+      std::string name = (*it)[1].str();
+      const std::size_t pos = name.rfind("::");
+      if (pos != std::string::npos) name = name.substr(pos + 2);
+      if (kKeywords.count(name) != 0) continue;
+      status_names.insert(name);
+    }
+    for (const std::string& line : stripped.code) {
+      for (std::sregex_iterator it(line.begin(), line.end(),
+                                   kOtherDeclaration),
+           end;
+           it != end; ++it) {
+        const std::string type = (*it)[1].str();
+        if (type == "Status" || type.rfind("Expected", 0) == 0 ||
+            kKeywords.count(type) != 0 || type == "struct" ||
+            type == "class" || type == "enum") {
+          continue;
+        }
+        std::string name = (*it)[2].str();
+        const std::size_t pos = name.rfind("::");
+        if (pos != std::string::npos) name = name.substr(pos + 2);
+        other_names.insert(name);
+      }
+    }
+  }
+  std::set<std::string> unambiguous;
+  for (const std::string& name : status_names) {
+    if (other_names.count(name) == 0) unambiguous.insert(name);
+  }
+  return unambiguous;
+}
+
+std::vector<Finding> LintFile(const SourceFile& file,
+                              const std::set<std::string>& status_functions) {
+  const StrippedFile stripped = Strip(file.content);
+  std::vector<Finding> findings;
+  CheckPragmaOnce(file, stripped, findings);
+  CheckUsingNamespace(file, stripped, findings);
+  CheckRawRng(file, stripped, findings);
+  CheckMagicUnitLiteral(file, stripped, findings);
+  CheckBannedFunctions(file, stripped, findings);
+  CheckUnusedStatus(file, stripped, status_functions, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<Finding> LintFiles(const std::vector<SourceFile>& files) {
+  const std::set<std::string> status_functions = CollectStatusFunctions(files);
+  std::vector<Finding> findings;
+  for (const SourceFile& file : files) {
+    std::vector<Finding> file_findings = LintFile(file, status_functions);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::vector<Finding> LintTree(const std::filesystem::path& repo_root,
+                              const std::vector<std::string>& subdirs) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  for (const std::string& subdir : subdirs) {
+    const fs::path dir = repo_root / subdir;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cc" && ext != ".cpp") {
+        continue;
+      }
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      files.push_back(SourceFile{
+          fs::relative(entry.path(), repo_root).generic_string(),
+          buffer.str()});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.repo_path < b.repo_path;
+            });
+  return LintFiles(files);
+}
+
+}  // namespace cimlint

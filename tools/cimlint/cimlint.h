@@ -1,0 +1,80 @@
+// cim-lint: a token/regex convention linter for this repository.
+//
+// Deliberately not a compiler plugin: the rules below are shallow enough to
+// enforce with line-level pattern matching (after stripping comments and
+// string literals), which keeps the tool dependency-free, fast enough to run
+// as a ctest target on every build, and trivially portable to CI images that
+// lack libclang.
+//
+// Rules (suppress one occurrence with `// cimlint: allow(<rule>)` on the
+// same line or the line above; suppress for a whole file with
+// `// cimlint: allow-file(<rule>)`):
+//
+//   unused-status          A statement-position call to a function that is
+//                          declared to return Status or Expected<T>, with
+//                          the result discarded. Backstops the compiler's
+//                          [[nodiscard]] enforcement in code that is not
+//                          compiled in every configuration. Names that are
+//                          also declared somewhere with a non-Status return
+//                          type (e.g. a void overload in another class) are
+//                          skipped: the rule only fires on unambiguous
+//                          names, the compiler catches the rest.
+//   raw-rng                rand()/srand()/std::random_device/std::mt19937
+//                          anywhere outside src/common/rng.h. Every noise
+//                          path must go through the seeded Rng so results
+//                          stay bit-for-bit reproducible.
+//   using-namespace-header `using namespace` in a header.
+//   pragma-once            Header missing `#pragma once`.
+//   magic-unit-literal     A nonzero numeric literal passed directly to a
+//                          TimeNs/EnergyPj constructor or factory in src/
+//                          outside src/dpe/params.h and src/common/units.h.
+//                          Hardware timing/energy constants belong in named
+//                          parameter fields, not inline in model code.
+//   banned-function        printf/fprintf in library code (src/) outside
+//                          src/common/log.cc — executables under bench/
+//                          and examples/ print their tables freely;
+//                          exit() in a file that does not define main().
+#pragma once
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cimlint {
+
+struct Finding {
+  std::string file;       // repo-relative path, '/' separators
+  std::size_t line = 0;   // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// One file presented to the linter. `repo_path` is the path rules use for
+// scoping decisions (e.g. "src/common/rng.h"); always '/'-separated.
+struct SourceFile {
+  std::string repo_path;
+  std::string content;
+};
+
+// Pass 1: scan every file for declarations returning Status or Expected<T>
+// and collect the declared function/method names (last :: component).
+[[nodiscard]] std::set<std::string> CollectStatusFunctions(
+    const std::vector<SourceFile>& files);
+
+// Pass 2: run every rule against one file. `status_functions` comes from
+// CollectStatusFunctions over the whole tree.
+[[nodiscard]] std::vector<Finding> LintFile(
+    const SourceFile& file, const std::set<std::string>& status_functions);
+
+// Convenience: both passes over an in-memory file set.
+[[nodiscard]] std::vector<Finding> LintFiles(
+    const std::vector<SourceFile>& files);
+
+// Walks `subdirs` (repo-relative) under `repo_root`, lints every .h/.cc
+// file found. Paths are reported repo-relative.
+[[nodiscard]] std::vector<Finding> LintTree(
+    const std::filesystem::path& repo_root,
+    const std::vector<std::string>& subdirs);
+
+}  // namespace cimlint

@@ -1,0 +1,62 @@
+// cim-lint CLI. Usage:
+//   cimlint --root <repo_root> [subdir...]
+// Default subdirs: src bench examples tests. Exits 1 when findings exist,
+// 2 on usage errors (so a typo'd --root cannot pass as a clean scan).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cimlint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> subdirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cimlint: --root requires a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: cimlint --root <repo_root> [subdir...]\n");
+      return 0;
+    } else {
+      subdirs.push_back(arg);
+    }
+  }
+  if (subdirs.empty()) subdirs = {"src", "bench", "examples", "tests"};
+
+  if (!std::filesystem::is_directory(root)) {
+    std::fprintf(stderr, "cimlint: root '%s' is not a directory\n",
+                 root.c_str());
+    return 2;
+  }
+  bool scanned_any = false;
+  for (const std::string& subdir : subdirs) {
+    if (std::filesystem::is_directory(std::filesystem::path(root) / subdir)) {
+      scanned_any = true;
+    }
+  }
+  if (!scanned_any) {
+    std::fprintf(stderr,
+                 "cimlint: none of the requested subdirs exist under '%s'\n",
+                 root.c_str());
+    return 2;
+  }
+
+  const std::vector<cimlint::Finding> findings =
+      cimlint::LintTree(root, subdirs);
+  for (const cimlint::Finding& f : findings) {
+    std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("cimlint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  std::printf("cimlint: clean\n");
+  return 0;
+}
