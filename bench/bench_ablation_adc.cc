@@ -46,10 +46,11 @@ int main() {
       std::size_t samples = 0;
       cim::CostReport cost;
       for (std::size_t p = 0; p < probes.size(); ++p) {
-        auto out = (*acc)->Infer(probes[p], &cost);
+        auto out = (*acc)->Infer(probes[p]);
         if (!out.ok()) continue;
-        for (std::size_t i = 0; i < out->size(); ++i) {
-          const double d = (*out)[i] - golden[p][i];
+        cost += out->cost;
+        for (std::size_t i = 0; i < out->output.size(); ++i) {
+          const double d = out->output[i] - golden[p][i];
           sq_err += d * d;
           ++samples;
         }

@@ -2,17 +2,21 @@
 // times better than CPUs and between 10 and 10^2 better than GPUs".
 //
 // Sweeps the benchmark network suite (tiny MLP to cache-busting MLP to
-// CNNs) and prints batch-1 inference latency on the simulated CPU, GPU and
-// DPE, plus the ratios. The paper's range emerges from the size sweep:
-// small models give ~single-digit wins, large ones give 1e2..1e4.
+// CNNs) and prints batch-1 inference latency for every ComputeEngine in one
+// polymorphic list — CPU, GPU, near-memory PIM and the DPE all speak the
+// same EngineCost currency — plus ratios against the DPE. The paper's range
+// emerges from the size sweep: small models give ~single-digit wins, large
+// ones give 1e2..1e4.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
+#include "baseline/compute_engine.h"
 #include "baseline/cpu_model.h"
 #include "baseline/gpu_model.h"
 #include "baseline/pim_model.h"
 #include "common/rng.h"
-#include "dpe/analytical.h"
+#include "dpe/engine_adapter.h"
 
 int main() {
   cim::Rng rng(42);
@@ -21,31 +25,41 @@ int main() {
   suite.push_back(
       cim::nn::BuildMlp("mlp-huge", {4096, 8192, 4096, 1024}, rng));
 
-  cim::baseline::CpuModel cpu;
-  cim::baseline::GpuModel gpu;
-  cim::baseline::PimModel pim;
-  cim::dpe::AnalyticalDpeModel dpe;
+  // One engine list; the DPE rides along via its adapter instead of being
+  // special-cased with a different estimate type. Last entry is the
+  // reference the ratios are taken against.
+  std::vector<std::unique_ptr<cim::baseline::ComputeEngine>> engines;
+  engines.push_back(std::make_unique<cim::baseline::CpuModel>());
+  engines.push_back(std::make_unique<cim::baseline::GpuModel>());
+  engines.push_back(std::make_unique<cim::baseline::PimModel>());
+  engines.push_back(std::make_unique<cim::dpe::DpeEngine>());
+  const std::size_t dpe_index = engines.size() - 1;
 
   std::printf("== Section VI: batch-1 inference latency (ns) ==\n");
-  std::printf("%-12s %10s %12s %12s %12s %12s %10s %10s\n", "network",
-              "MMACs", "cpu_ns", "gpu_ns", "pim_ns", "dpe_ns", "cpu/dpe",
-              "gpu/dpe");
+  std::printf("%-12s %10s", "network", "MMACs");
+  for (const auto& engine : engines) {
+    std::printf(" %18s", (engine->name() + "_ns").c_str());
+  }
+  std::printf(" %10s %10s\n", "cpu/dpe", "gpu/dpe");
+
   double min_cpu_ratio = 1e300, max_cpu_ratio = 0.0;
   for (const cim::nn::Network& net : suite) {
-    auto c = cpu.EstimateInference(net);
-    auto g = gpu.EstimateInference(net);
-    auto p = pim.EstimateInference(net);
-    auto d = dpe.EstimateInference(net);
-    if (!c.ok() || !g.ok() || !p.ok() || !d.ok()) continue;
-    const double cpu_ratio = c->latency_ns / d->latency_ns;
-    const double gpu_ratio = g->latency_ns / d->latency_ns;
+    std::vector<double> latency(engines.size(), 0.0);
+    bool ok = true;
+    for (std::size_t e = 0; e < engines.size(); ++e) {
+      auto cost = engines[e]->EstimateInference(net);
+      if (!cost.ok()) { ok = false; break; }
+      latency[e] = cost->latency_ns;
+    }
+    if (!ok) continue;
+    const double cpu_ratio = latency[0] / latency[dpe_index];
+    const double gpu_ratio = latency[1] / latency[dpe_index];
     min_cpu_ratio = std::min(min_cpu_ratio, cpu_ratio);
     max_cpu_ratio = std::max(max_cpu_ratio, cpu_ratio);
-    std::printf("%-12s %10.2f %12.3g %12.3g %12.3g %12.3g %10.1f %10.1f\n",
-                net.name.c_str(),
-                static_cast<double>(net.TotalMacs()) / 1e6, c->latency_ns,
-                g->latency_ns, p->latency_ns, d->latency_ns, cpu_ratio,
-                gpu_ratio);
+    std::printf("%-12s %10.2f", net.name.c_str(),
+                static_cast<double>(net.TotalMacs()) / 1e6);
+    for (const double l : latency) std::printf(" %18.3g", l);
+    std::printf(" %10.1f %10.1f\n", cpu_ratio, gpu_ratio);
   }
   std::printf("\ncpu/dpe latency ratio across the sweep: %.1fx .. %.0fx "
               "(paper: 10 .. 1e4); the near-memory PIM column sits between "

@@ -3,15 +3,19 @@
 //
 // Power efficiency is energy per inference at matched work: the DPE's
 // advantage is that weights never move and the analog MAC is cheap, while
-// the CPU/GPU burn package power for the whole (much longer) latency.
+// the CPU/GPU burn package power for the whole (much longer) latency. All
+// engines — including the DPE, via its adapter — report through the same
+// ComputeEngine interface.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
+#include "baseline/compute_engine.h"
 #include "baseline/cpu_model.h"
 #include "baseline/gpu_model.h"
 #include "baseline/pim_model.h"
 #include "common/rng.h"
-#include "dpe/analytical.h"
+#include "dpe/engine_adapter.h"
 
 int main() {
   cim::Rng rng(44);
@@ -19,31 +23,39 @@ int main() {
   suite.push_back(
       cim::nn::BuildMlp("mlp-huge", {4096, 8192, 4096, 1024}, rng));
 
-  cim::baseline::CpuModel cpu;
-  cim::baseline::GpuModel gpu;
-  cim::baseline::PimModel pim;
-  cim::dpe::AnalyticalDpeModel dpe;
+  std::vector<std::unique_ptr<cim::baseline::ComputeEngine>> engines;
+  engines.push_back(std::make_unique<cim::baseline::CpuModel>());
+  engines.push_back(std::make_unique<cim::baseline::GpuModel>());
+  engines.push_back(std::make_unique<cim::baseline::PimModel>());
+  engines.push_back(std::make_unique<cim::dpe::DpeEngine>());
+  const std::size_t dpe_index = engines.size() - 1;
 
   std::printf("== Section VI: energy per batch-1 inference (uJ) ==\n");
-  std::printf("%-12s %12s %12s %12s %12s %12s %12s\n", "network", "cpu_uJ",
-              "gpu_uJ", "pim_uJ", "dpe_uJ", "cpu/dpe", "gpu/dpe");
+  std::printf("%-12s", "network");
+  for (const auto& engine : engines) {
+    std::printf(" %18s", (engine->name() + "_uJ").c_str());
+  }
+  std::printf(" %12s %12s\n", "cpu/dpe", "gpu/dpe");
+
   double min_cpu = 1e300, max_cpu = 0.0, min_gpu = 1e300, max_gpu = 0.0;
   for (const cim::nn::Network& net : suite) {
-    auto c = cpu.EstimateInference(net);
-    auto g = gpu.EstimateInference(net);
-    auto p = pim.EstimateInference(net);
-    auto d = dpe.EstimateInference(net);
-    if (!c.ok() || !g.ok() || !p.ok() || !d.ok()) continue;
-    const double cpu_ratio = c->energy_pj / d->energy_pj;
-    const double gpu_ratio = g->energy_pj / d->energy_pj;
+    std::vector<double> energy(engines.size(), 0.0);
+    bool ok = true;
+    for (std::size_t e = 0; e < engines.size(); ++e) {
+      auto cost = engines[e]->EstimateInference(net);
+      if (!cost.ok()) { ok = false; break; }
+      energy[e] = cost->energy_pj;
+    }
+    if (!ok) continue;
+    const double cpu_ratio = energy[0] / energy[dpe_index];
+    const double gpu_ratio = energy[1] / energy[dpe_index];
     min_cpu = std::min(min_cpu, cpu_ratio);
     max_cpu = std::max(max_cpu, cpu_ratio);
     min_gpu = std::min(min_gpu, gpu_ratio);
     max_gpu = std::max(max_gpu, gpu_ratio);
-    std::printf("%-12s %12.4g %12.4g %12.4g %12.4g %12.3g %12.3g\n",
-                net.name.c_str(), c->energy_pj * 1e-6, g->energy_pj * 1e-6,
-                p->energy_pj * 1e-6, d->energy_pj * 1e-6, cpu_ratio,
-                gpu_ratio);
+    std::printf("%-12s", net.name.c_str());
+    for (const double e : energy) std::printf(" %18.4g", e * 1e-6);
+    std::printf(" %12.3g %12.3g\n", cpu_ratio, gpu_ratio);
   }
   std::printf("\ncpu/dpe energy ratio: %.3g .. %.3g (paper: 1e3 .. 1e6)\n",
               min_cpu, max_cpu);

@@ -33,18 +33,17 @@ int main() {
   }
   cim::nn::Tensor frame({1, 16, 16});
   for (auto& v : frame.vec()) v = rng.Uniform(0.0, 1.0);
-  cim::CostReport inference_cost;
-  auto scores = (*accelerator)->Infer(frame, &inference_cost);
+  auto scores = (*accelerator)->Infer(frame);
   if (!scores.ok()) {
     std::printf("inference error: %s\n", scores.status().ToString().c_str());
     return 1;
   }
   std::size_t best = 0;
-  for (std::size_t i = 1; i < scores->size(); ++i) {
-    if ((*scores)[i] > (*scores)[best]) best = i;
+  for (std::size_t i = 1; i < scores->output.size(); ++i) {
+    if (scores->output[i] > scores->output[best]) best = i;
   }
   const double cim_energy_pj =
-      inference_cost.energy_pj + metadata_bytes * radio_pj_per_byte;
+      scores->cost.energy_pj + metadata_bytes * radio_pj_per_byte;
 
   // --- Option B: ship the raw frame to the cloud (CPU infers there) ------
   cim::baseline::CpuModel cloud_cpu;
@@ -52,7 +51,7 @@ int main() {
   const double raw_ship_energy_pj = frame_bytes * radio_pj_per_byte;
 
   std::printf("edge frame classified as class %zu (score %.3f)\n\n", best,
-              (*scores)[best]);
+              scores->output[best]);
   std::printf("%-34s %14s %14s\n", "option", "device_uJ", "bytes uplinked");
   std::printf("%-34s %14.3f %14.0f\n", "A: CIM on-device + metadata",
               cim_energy_pj * 1e-6, metadata_bytes);

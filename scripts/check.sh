@@ -17,9 +17,17 @@ run_preset() {
   cmake --preset "$preset"
   echo "==> [$preset] build"
   cmake --build --preset "$preset" -j "$(nproc)"
-  if [[ "$preset" == "tsan" || "$preset" == "werror" ]]; then
-    # tsan/werror are build-only gates: tsan matters once the parallelism
-    # PRs land, werror proves the tree stays -Werror -Wconversion clean.
+  if [[ "$preset" == "werror" ]]; then
+    # werror is a build-only gate: it proves the tree stays
+    # -Werror -Wconversion clean.
+    return 0
+  fi
+  if [[ "$preset" == "tsan" ]]; then
+    # tsan builds everything but runs only the concurrency-labeled suites
+    # (the preset's test filter): ThreadSanitizer on the thread pool and
+    # the batched DPE runtime.
+    echo "==> [$preset] ctest (concurrency label)"
+    ctest --preset "$preset"
     return 0
   fi
   echo "==> [$preset] ctest"

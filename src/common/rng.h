@@ -15,6 +15,22 @@
 
 namespace cim {
 
+// Deterministically derive an independent seed for stream `index` of a
+// root seed — the splitmix64 finalizer over the combined pair, so nearby
+// indices land in unrelated regions of seed space. Used to give every
+// engine tile its own noise stream (root seed + tile index) and every MVM
+// invocation within a tile its own sub-stream (tile seed + call index):
+// results then depend only on *which* call ran, never on which thread ran
+// it or in what order — the property the batched inference runtime's
+// bit-identical-at-any-thread-count guarantee rests on.
+[[nodiscard]] constexpr std::uint64_t DeriveSeed(std::uint64_t root,
+                                                 std::uint64_t index) {
+  std::uint64_t z = root + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }

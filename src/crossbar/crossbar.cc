@@ -106,7 +106,9 @@ std::vector<double> Crossbar::IdealColumnCurrents(
 }
 
 Expected<AnalogCycleResult> Crossbar::Cycle(
-    std::span<const std::uint64_t> row_codes, std::size_t active_cols) {
+    std::span<const std::uint64_t> row_codes, std::size_t active_cols,
+    Rng* noise_rng) {
+  Rng& rng = noise_rng != nullptr ? *noise_rng : rng_;
   CIM_REQUIRE(row_codes.size() == params_.rows,
               InvalidArgument("row drive vector size mismatch"));
   // 0 means "sense every column"; asking for more columns than exist was
@@ -133,7 +135,7 @@ Expected<AnalogCycleResult> Crossbar::Cycle(
     ++active_rows;
     for (std::size_t c = 0; c < params_.cols; ++c) {
       const device::ReadResult rr =
-          cells_[r * params_.cols + c].Read(params_.cell, rng_);
+          cells_[r * params_.cols + c].Read(params_.cell, rng);
       currents[c] += v * rr.conductance_siemens;
       result.cost.energy_pj += rr.energy.pj;
     }

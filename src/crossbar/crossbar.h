@@ -73,8 +73,17 @@ class Crossbar {
   // rows, each < 2^dac_bits), sense and digitize the first `active_cols`
   // columns (0 = all). Column gating lets narrow logical matrices skip ADC
   // conversions for unused columns.
+  //
+  // `noise_rng` selects the stream the cell read noise draws from. When
+  // null the crossbar's internal stream is used (and advanced). When
+  // provided, the internal stream is untouched and the call mutates no
+  // crossbar state at all — concurrent Cycle calls on one crossbar are safe
+  // as long as each passes its own Rng. The DPE runtime uses this to give
+  // every MVM invocation a seed derived from (tile, call index), making
+  // results independent of thread count and scheduling.
   [[nodiscard]] Expected<AnalogCycleResult> Cycle(
-      std::span<const std::uint64_t> row_codes, std::size_t active_cols = 0);
+      std::span<const std::uint64_t> row_codes, std::size_t active_cols = 0,
+      Rng* noise_rng = nullptr);
 
   // Transpose cycle: drive the columns, sense the rows (y -> W y). The
   // crossbar is bidirectional — the property the DPE lineage exploits for

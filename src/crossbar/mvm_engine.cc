@@ -188,7 +188,8 @@ Expected<CostReport> MvmEngine::UpdateWeights(
   return total;
 }
 
-Expected<MvmResult> MvmEngine::Compute(std::span<const double> x) {
+Expected<MvmResult> MvmEngine::Compute(std::span<const double> x,
+                                       Rng* noise_rng) {
   if (!programmed_) {
     return FailedPrecondition("ProgramWeights must run before Compute");
   }
@@ -228,7 +229,7 @@ Expected<MvmResult> MvmEngine::Compute(std::span<const double> x) {
       for (int plane = 0; plane < 2; ++plane) {
         Crossbar& xbar =
             plane == 0 ? positive_planes_[s] : negative_planes_[s];
-        auto cycle = xbar.Cycle(row_codes, out_dim_);
+        auto cycle = xbar.Cycle(row_codes, out_dim_, noise_rng);
         if (!cycle.ok()) return cycle.status();
         // All (slice, plane) arrays fire in parallel within the bit cycle.
         cycle_latency = std::max(cycle_latency, cycle->cost.latency_ns);

@@ -72,7 +72,15 @@ class MvmEngine {
 
   // Analog matrix-vector product y = W^T x (x has in_dim entries; y has
   // out_dim entries).
-  [[nodiscard]] Expected<MvmResult> Compute(std::span<const double> x);
+  //
+  // `noise_rng`, when provided, supplies the read-noise stream for every
+  // analog cycle of this invocation and leaves the engine's internal
+  // crossbar streams untouched; the call then mutates no engine state, so
+  // concurrent Compute calls on one engine are safe as long as each passes
+  // its own Rng. This is how the DPE runtime executes tiles and batch
+  // elements in parallel while staying bit-identical at any thread count.
+  [[nodiscard]] Expected<MvmResult> Compute(std::span<const double> x,
+                                            Rng* noise_rng = nullptr);
 
   // Transpose (backward) product g = W e using the crossbar's
   // bidirectionality — the in-situ backpropagation path. The error vector

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 #include <variant>
 
 namespace cim::dpe {
@@ -32,6 +34,9 @@ Expected<std::unique_ptr<DpeAccelerator>> DpeAccelerator::Create(
   if (Status s = params.Validate(); !s.ok()) return s;
   if (Status s = net.Validate(); !s.ok()) return s;
   std::unique_ptr<DpeAccelerator> acc(new DpeAccelerator(params, net));
+  // Root of every per-tile noise-stream family; drawn first so the tile
+  // seeds do not depend on how the programming path consumes the rng.
+  acc->root_seed_ = rng.NextU64();
 
   for (const nn::Layer& layer : net.layers) {
     if (const auto* dense = std::get_if<nn::DenseLayer>(&layer)) {
@@ -67,6 +72,40 @@ Expected<std::unique_ptr<DpeAccelerator>> DpeAccelerator::Create(
       }
       acc->mvm_layers_.push_back(std::move(mapped));
     }
+  }
+
+  // Walk the shapes once to fix each layer's calls-per-inference (the
+  // stride between batch elements in the per-tile noise-stream numbering).
+  std::vector<std::size_t> shape = net.input_shape;
+  std::size_t mvm_index = 0;
+  for (const nn::Layer& layer : net.layers) {
+    if (std::holds_alternative<nn::DenseLayer>(layer) && shape.size() == 3) {
+      shape = {shape[0] * shape[1] * shape[2]};
+    }
+    if (const auto* dense = std::get_if<nn::DenseLayer>(&layer)) {
+      acc->mvm_layers_[mvm_index++].calls_per_inference = 1;
+      shape = {dense->out_features};
+    } else if (const auto* conv = std::get_if<nn::Conv2dLayer>(&layer)) {
+      const std::size_t oh =
+          OutDim(shape[1], conv->kernel, conv->stride, conv->padding);
+      const std::size_t ow =
+          OutDim(shape[2], conv->kernel, conv->stride, conv->padding);
+      acc->mvm_layers_[mvm_index++].calls_per_inference =
+          static_cast<std::uint64_t>(oh) * ow;
+      shape = {conv->out_channels, oh, ow};
+    } else if (const auto* pool = std::get_if<nn::MaxPoolLayer>(&layer)) {
+      shape = {shape[0], OutDim(shape[1], pool->window, pool->stride, 0),
+               OutDim(shape[2], pool->window, pool->stride, 0)};
+    }
+  }
+
+  const std::size_t threads = params.worker_threads == 0
+                                  ? HardwareConcurrency()
+                                  : params.worker_threads;
+  if (threads > 1) {
+    // The calling thread participates in every parallel region, so the
+    // pool holds one fewer background worker than the requested total.
+    acc->pool_ = std::make_unique<ThreadPool>(threads - 1);
   }
   return acc;
 }
@@ -106,54 +145,76 @@ Status DpeAccelerator::MapMatrix(std::span<const double> matrix,
           std::max(program_cost_.latency_ns, cost->latency_ns);
       program_cost_.operations += cost->operations;
       arrays_used_ += 2 * static_cast<std::size_t>(engine_params.slices());
-      mapped->tiles.push_back(EngineTile{std::move(engine.value()), r0, c0,
-                                         r_len, c_len});
+      EngineTile tile{std::move(engine.value()), r0, c0, r_len, c_len,
+                      DeriveSeed(root_seed_, next_tile_index_)};
+      ++next_tile_index_;
+      mapped->tiles.push_back(std::move(tile));
     }
   }
   return Status::Ok();
 }
 
-Expected<std::vector<double>> DpeAccelerator::RunMvm(
-    MappedMvmLayer& mapped, std::span<const double> x, CostReport* cost) {
+Expected<crossbar::MvmResult> DpeAccelerator::RunMvm(
+    const MappedMvmLayer& mapped, std::span<const double> x,
+    std::uint64_t stream_offset) {
   if (x.size() != mapped.in_dim) {
     return InvalidArgument("MVM input dimension mismatch");
   }
-  std::vector<double> y(mapped.out_dim, 0.0);
-  double max_tile_latency = 0.0;
-  for (EngineTile& tile : mapped.tiles) {
-    auto result = tile.engine.Compute(
-        x.subspan(tile.row_offset, tile.in));
-    if (!result.ok()) return result.status();
-    for (std::size_t c = 0; c < tile.out; ++c) {
-      y[tile.col_offset + c] += result->y[c];
-    }
-    if (cost != nullptr) {
-      cost->energy_pj += result->cost.energy_pj;
-      cost->operations += result->cost.operations;
-      max_tile_latency = std::max(max_tile_latency, result->cost.latency_ns);
-    }
+  const std::uint64_t call = mapped.committed_calls + stream_offset;
+  const std::size_t tiles = mapped.tiles.size();
+  std::vector<std::optional<Expected<crossbar::MvmResult>>> partials(tiles);
+
+  const auto run_tile = [&](std::size_t t) {
+    // MvmEngine::Compute with an external rng mutates no engine state, so
+    // tiles (and concurrent batch elements touching the same tile) are
+    // safe to run on any thread; the draw sequence depends only on the
+    // (tile, call) pair.
+    auto& tile = const_cast<EngineTile&>(mapped.tiles[t]);
+    Rng noise(DeriveSeed(tile.noise_seed, call));
+    partials[t].emplace(
+        tile.engine.Compute(x.subspan(tile.row_offset, tile.in), &noise));
+  };
+
+  if (pool_ != nullptr && tiles > 1 && !ThreadPool::InParallelRegion()) {
+    pool_->ParallelFor(tiles, run_tile);
+  } else {
+    for (std::size_t t = 0; t < tiles; ++t) run_tile(t);
   }
-  if (cost != nullptr) cost->latency_ns += max_tile_latency;
-  return y;
+
+  // Deterministic merge in tile order: partial sums, energy and operation
+  // counts accumulate in the same order the serial path used, and the MVM
+  // latency is the slowest tile (they fire concurrently in hardware).
+  crossbar::MvmResult merged;
+  merged.y.assign(mapped.out_dim, 0.0);
+  double max_tile_latency = 0.0;
+  for (std::size_t t = 0; t < tiles; ++t) {
+    Expected<crossbar::MvmResult>& partial = *partials[t];
+    if (!partial.ok()) return partial.status();
+    const EngineTile& tile = mapped.tiles[t];
+    for (std::size_t c = 0; c < tile.out; ++c) {
+      merged.y[tile.col_offset + c] += partial->y[c];
+    }
+    merged.cost.energy_pj += partial->cost.energy_pj;
+    merged.cost.operations += partial->cost.operations;
+    max_tile_latency = std::max(max_tile_latency, partial->cost.latency_ns);
+  }
+  merged.cost.latency_ns = max_tile_latency;
+  return merged;
 }
 
-Expected<nn::Tensor> DpeAccelerator::Infer(const nn::Tensor& input,
-                                           CostReport* cost) {
-  if (input.shape() != net_.input_shape) {
-    return InvalidArgument("input shape mismatch");
-  }
+Expected<InferResult> DpeAccelerator::RunElement(
+    const nn::Tensor& input, std::uint64_t element_index) {
   nn::Tensor current = input;
   std::size_t mvm_index = 0;
-  CostReport local;
-  CostReport* acc_cost = cost != nullptr ? cost : &local;
+  CostReport cost;
 
   const auto account_activation = [&](std::size_t elements) {
-    acc_cost->energy_pj +=
+    cost.energy_pj +=
         static_cast<double>(elements) * params_.activation_energy_pj;
-    acc_cost->latency_ns += params_.activation_latency_ns;
+    cost.latency_ns += params_.activation_latency_ns;
   };
   const auto account_buffer = [&](std::size_t bytes) {
-    acc_cost->energy_pj +=
+    cost.energy_pj +=
         static_cast<double>(bytes) * params_.buffer_energy_per_byte_pj;
   };
 
@@ -163,17 +224,22 @@ Expected<nn::Tensor> DpeAccelerator::Infer(const nn::Tensor& input,
       current = nn::Tensor({current.size()}, current.vec());
     }
     if (const auto* dense = std::get_if<nn::DenseLayer>(&layer)) {
-      MappedMvmLayer& mapped = mvm_layers_[mvm_index++];
+      const MappedMvmLayer& mapped = mvm_layers_[mvm_index++];
       account_buffer(mapped.in_dim + mapped.out_dim);
-      auto y = RunMvm(mapped, current.vec(), acc_cost);
-      if (!y.ok()) return y.status();
+      auto mvm = RunMvm(mapped, current.vec(),
+                        element_index * mapped.calls_per_inference);
+      if (!mvm.ok()) return mvm.status();
+      cost.energy_pj += mvm->cost.energy_pj;
+      cost.operations += mvm->cost.operations;
+      cost.latency_ns += mvm->cost.latency_ns;
+      std::vector<double> y = std::move(mvm->y);
       for (std::size_t o = 0; o < dense->out_features; ++o) {
-        (*y)[o] = Activate((*y)[o] + dense->bias[o], dense->activation);
+        y[o] = Activate(y[o] + dense->bias[o], dense->activation);
       }
       account_activation(dense->out_features);
-      current = nn::Tensor({dense->out_features}, std::move(y.value()));
+      current = nn::Tensor({dense->out_features}, std::move(y));
     } else if (const auto* conv = std::get_if<nn::Conv2dLayer>(&layer)) {
-      MappedMvmLayer& mapped = mvm_layers_[mvm_index++];
+      const MappedMvmLayer& mapped = mvm_layers_[mvm_index++];
       const std::size_t k = conv->kernel;
       const std::size_t ih = current.shape()[1];
       const std::size_t iw = current.shape()[2];
@@ -208,23 +274,23 @@ Expected<nn::Tensor> DpeAccelerator::Infer(const nn::Tensor& input,
               }
             }
           }
-          CostReport pixel_cost;
-          auto y = RunMvm(mapped, column, &pixel_cost);
-          if (!y.ok()) return y.status();
-          acc_cost->energy_pj += pixel_cost.energy_pj;
-          acc_cost->operations += pixel_cost.operations;
-          pixel_latency = std::max(pixel_latency, pixel_cost.latency_ns);
+          auto mvm = RunMvm(mapped, column,
+                            element_index * mapped.calls_per_inference +
+                                pixels);
+          if (!mvm.ok()) return mvm.status();
+          cost.energy_pj += mvm->cost.energy_pj;
+          cost.operations += mvm->cost.operations;
+          pixel_latency = std::max(pixel_latency, mvm->cost.latency_ns);
           ++pixels;
           for (std::size_t oc = 0; oc < conv->out_channels; ++oc) {
             out.at3(oc, oy, ox) =
-                Activate((*y)[oc] + conv->bias[oc], conv->activation);
+                Activate(mvm->y[oc] + conv->bias[oc], conv->activation);
           }
         }
       }
       const std::uint64_t serialized =
           (pixels + params_.conv_replication - 1) / params_.conv_replication;
-      acc_cost->latency_ns +=
-          static_cast<double>(serialized) * pixel_latency;
+      cost.latency_ns += static_cast<double>(serialized) * pixel_latency;
       account_activation(conv->out_channels * oh * ow);
       account_buffer((mapped.in_dim + conv->out_channels) * pixels);
       current = std::move(out);
@@ -253,7 +319,57 @@ Expected<nn::Tensor> DpeAccelerator::Infer(const nn::Tensor& input,
       current = std::move(out);
     }
   }
-  return current;
+  return InferResult{std::move(current), cost};
+}
+
+void DpeAccelerator::CommitCalls(std::uint64_t elements) {
+  for (MappedMvmLayer& layer : mvm_layers_) {
+    layer.committed_calls += elements * layer.calls_per_inference;
+  }
+}
+
+Expected<InferResult> DpeAccelerator::Infer(const nn::Tensor& input) {
+  if (input.shape() != net_.input_shape) {
+    return InvalidArgument("input shape mismatch");
+  }
+  auto result = RunElement(input, 0);
+  if (result.ok()) CommitCalls(1);
+  return result;
+}
+
+Expected<std::vector<InferResult>> DpeAccelerator::InferBatch(
+    std::span<const nn::Tensor> inputs) {
+  for (const nn::Tensor& input : inputs) {
+    if (input.shape() != net_.input_shape) {
+      return InvalidArgument("input shape mismatch in batch");
+    }
+  }
+  if (inputs.empty()) return std::vector<InferResult>{};
+
+  const std::size_t batch = inputs.size();
+  std::vector<std::optional<Expected<InferResult>>> elements(batch);
+  const auto run_element = [&](std::size_t b) {
+    elements[b].emplace(RunElement(inputs[b], b));
+  };
+  // Batch elements are the outer parallel axis; inside a parallel region
+  // RunMvm automatically takes its serial path (no nesting). With one
+  // element the batch axis degenerates and the tile axis parallelizes
+  // instead.
+  if (pool_ != nullptr && batch > 1 && !ThreadPool::InParallelRegion()) {
+    pool_->ParallelFor(batch, run_element);
+  } else {
+    for (std::size_t b = 0; b < batch; ++b) run_element(b);
+  }
+
+  std::vector<InferResult> results;
+  results.reserve(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    Expected<InferResult>& element = *elements[b];
+    if (!element.ok()) return element.status();
+    results.push_back(std::move(element.value()));
+  }
+  CommitCalls(static_cast<std::uint64_t>(batch));
+  return results;
 }
 
 Status DpeAccelerator::InjectFault(std::size_t layer_index, std::size_t row,

@@ -3,18 +3,36 @@
 // im2col convolution). Slow but faithful — used for small networks, for
 // accuracy experiments (quantization + analog error vs the float golden
 // model), and to validate the analytical model's cost accounting.
+//
+// The inference runtime is batched and multi-threaded: independent engine
+// tiles (and independent batch elements in InferBatch) execute concurrently
+// on a host thread pool, mirroring how the modeled hardware fires all
+// crossbars at once. Every MVM invocation draws its read noise from a
+// stream derived from (root seed, tile index, call index), and partial
+// sums / cost reports are merged in fixed tile order after each parallel
+// region — so outputs and costs are bit-identical at any thread count, and
+// InferBatch(N inputs) is bit-identical to N sequential Infer calls.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "crossbar/mvm_engine.h"
 #include "dpe/params.h"
 #include "nn/network.h"
 
 namespace cim::dpe {
+
+// One inference's output together with its fully accounted cost — the same
+// pairing crossbar::MvmResult uses one layer down.
+struct InferResult {
+  nn::Tensor output;
+  CostReport cost;
+};
 
 class DpeAccelerator {
  public:
@@ -22,14 +40,22 @@ class DpeAccelerator {
   [[nodiscard]] static Expected<std::unique_ptr<DpeAccelerator>> Create(
       const DpeParams& params, const nn::Network& net, Rng rng);
 
-  // Batch-1 inference. Cost of this inference is added to *cost if given.
-  [[nodiscard]] Expected<nn::Tensor> Infer(const nn::Tensor& input,
-                                           CostReport* cost = nullptr);
+  // Batch-1 inference. Engine tiles within each layer run in parallel on
+  // the pool (params.worker_threads).
+  [[nodiscard]] Expected<InferResult> Infer(const nn::Tensor& input);
+
+  // Batched inference: batch elements run in parallel across the pool.
+  // Outputs and per-element costs are bit-identical to calling Infer once
+  // per input in order, at any thread count.
+  [[nodiscard]] Expected<std::vector<InferResult>> InferBatch(
+      std::span<const nn::Tensor> inputs);
 
   [[nodiscard]] const CostReport& program_cost() const {
     return program_cost_;
   }
   [[nodiscard]] std::size_t arrays_used() const { return arrays_used_; }
+  // The pool executing tile/batch work; null when worker_threads == 1.
+  [[nodiscard]] const ThreadPool* thread_pool() const { return pool_.get(); }
 
   // Fault-injection hook: flip one cell in the first engine of layer
   // `layer_index` (reliability experiments).
@@ -43,11 +69,21 @@ class DpeAccelerator {
     std::size_t col_offset;  // output slice start
     std::size_t in;
     std::size_t out;
+    // Root of this tile's noise-stream family: DeriveSeed(root_seed, tile
+    // index). Each MVM invocation k on this tile draws from
+    // Rng(DeriveSeed(noise_seed, k)).
+    std::uint64_t noise_seed = 0;
   };
   struct MappedMvmLayer {
     std::vector<EngineTile> tiles;
     std::size_t in_dim;
     std::size_t out_dim;
+    // MVM invocations one inference makes on this layer (1 for dense,
+    // oh*ow pixels for conv) — the stride between batch elements in the
+    // per-tile call numbering.
+    std::uint64_t calls_per_inference = 1;
+    // Calls already consumed by completed Infer/InferBatch requests.
+    std::uint64_t committed_calls = 0;
   };
 
   DpeAccelerator(const DpeParams& params, const nn::Network& net);
@@ -56,16 +92,33 @@ class DpeAccelerator {
   Status MapMatrix(std::span<const double> matrix, std::size_t in_dim,
                    std::size_t out_dim, Rng& rng, MappedMvmLayer* mapped);
 
-  // Run one tiled MVM; returns out_dim partial sums (bias not applied).
-  Expected<std::vector<double>> RunMvm(MappedMvmLayer& mapped,
+  // Run one tiled MVM for call number `stream_offset` (relative to the
+  // layer's committed_calls); returns out_dim partial sums (bias not
+  // applied) plus the MVM's cost (latency = slowest tile, the tiles fire
+  // concurrently in hardware). Tiles execute in parallel on the pool when
+  // called outside an enclosing parallel region; the merge is serial in
+  // tile order either way, so results never depend on scheduling.
+  Expected<crossbar::MvmResult> RunMvm(const MappedMvmLayer& mapped,
                                        std::span<const double> x,
-                                       CostReport* cost);
+                                       std::uint64_t stream_offset);
+
+  // Whole-network forward pass for one batch element. `element_index`
+  // offsets every layer's noise-stream numbering by
+  // element_index * calls_per_inference; callers commit the consumed calls
+  // afterwards via CommitCalls.
+  Expected<InferResult> RunElement(const nn::Tensor& input,
+                                   std::uint64_t element_index);
+
+  void CommitCalls(std::uint64_t elements);
 
   DpeParams params_;
   nn::Network net_;
   std::vector<MappedMvmLayer> mvm_layers_;  // one per dense/conv layer
   CostReport program_cost_;
   std::size_t arrays_used_ = 0;
+  std::uint64_t root_seed_ = 0;
+  std::uint64_t next_tile_index_ = 0;  // used during Create only
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace cim::dpe

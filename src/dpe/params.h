@@ -39,6 +39,14 @@ struct DpeParams {
   // are tiny, so heavy replication is cheap in arrays).
   std::size_t conv_replication = 128;
 
+  // Host-side concurrency of the behavioural accelerator: total number of
+  // threads (including the calling thread) the inference runtime may use
+  // for independent engine-tile MVMs and batch elements. 0 means "use the
+  // host's hardware concurrency"; 1 forces the serial path. Purely a
+  // simulation-speed knob — results are bit-identical at every setting
+  // (see DESIGN.md § Threading and determinism).
+  std::size_t worker_threads = 0;
+
   // Physical capacity used by the multi-board scaling model.
   std::size_t arrays_per_board = 8192;
   // Board-to-board interconnect.

@@ -9,6 +9,7 @@
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace cim::runtime {
 
@@ -27,6 +28,16 @@ class LoadInformationManager {
   }
   void RecordUtilization(WorkerId worker, double utilization) {
     worker_utilization_[worker] = utilization;
+  }
+  // Snapshot real measured utilization from a host thread pool (one entry
+  // per pool worker, starting at `first_worker`) instead of guessed
+  // numbers — the "load information management" §IV.C asks for, fed by the
+  // inference runtime's own execution.
+  void IngestPool(const ThreadPool& pool, WorkerId first_worker = 0) {
+    for (std::size_t w = 0; w < pool.worker_count(); ++w) {
+      RecordUtilization(first_worker + static_cast<WorkerId>(w),
+                        pool.Utilization(w));
+    }
   }
 
   [[nodiscard]] const RunningStat* LatencyOf(StreamId stream) const {

@@ -1,11 +1,14 @@
 // Tests for the von Neumann baselines and the §VI comparison invariants.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "baseline/cpu_model.h"
 #include "baseline/gpu_model.h"
 #include "baseline/pim_model.h"
 #include "common/rng.h"
 #include "dpe/analytical.h"
+#include "dpe/engine_adapter.h"
 
 namespace cim::baseline {
 namespace {
@@ -175,6 +178,47 @@ TEST(ComparisonTest, DpeAdvantageGrowsWithModelSize) {
   const double large_ratio = cpu_large->latency_ns / dpe_large->latency_ns;
   EXPECT_GT(small_ratio, 1.0);  // DPE still wins on small models
   EXPECT_GT(large_ratio, 10.0 * small_ratio);  // and dominates large ones
+}
+
+TEST(EngineCostTest, UnitConversionsPinned) {
+  EngineCost cost;
+  cost.latency_ns = 1000.0;
+  cost.energy_pj = 2000.0;
+  cost.dram_bytes = 8000.0;
+  // 2000 pJ over 1000 ns = 2 pJ/ns = 2 mW = 2e-3 W.
+  EXPECT_DOUBLE_EQ(cost.average_power_watts(), 2e-3);
+  // 8000 bytes over 1000 ns = 8 bytes/ns = 8e9 bytes/s = 8 GB/s
+  // (gigabytes, not gigabits).
+  EXPECT_DOUBLE_EQ(cost.weight_bandwidth_gbps(), 8.0);
+
+  EngineCost idle;  // zero latency must not divide by zero
+  idle.energy_pj = 5.0;
+  idle.dram_bytes = 5.0;
+  EXPECT_DOUBLE_EQ(idle.average_power_watts(), 0.0);
+  EXPECT_DOUBLE_EQ(idle.weight_bandwidth_gbps(), 0.0);
+}
+
+TEST(DpeEngineAdapterTest, SpeaksTheCommonEngineInterface) {
+  Rng rng(9);
+  const nn::Network net = nn::BuildMlp("a", {64, 32, 8}, rng);
+  // Through the base pointer, like the §VI benches iterate it.
+  const std::unique_ptr<ComputeEngine> engine =
+      std::make_unique<dpe::DpeEngine>();
+  EXPECT_EQ(engine->name(), "dpe");
+  auto cost = engine->EstimateInference(net);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_GT(cost->latency_ns, 0.0);
+  EXPECT_GT(cost->energy_pj, 0.0);
+  EXPECT_EQ(cost->macs, net.TotalMacs());
+  // Weights are resident: only input + output activations cross the memory
+  // interface (1 byte each at 8-bit precision).
+  EXPECT_DOUBLE_EQ(cost->dram_bytes, 64.0 + 8.0);
+  // The adapter folds the same estimate the analytical model reports.
+  dpe::AnalyticalDpeModel model;
+  auto estimate = model.EstimateInference(net);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(cost->latency_ns, estimate->latency_ns);
+  EXPECT_DOUBLE_EQ(cost->energy_pj, estimate->energy_pj);
 }
 
 }  // namespace

@@ -105,6 +105,39 @@ TEST(RawRngRule, DoesNotFireOnIdentifiersContainingRand) {
 }
 
 // ---------------------------------------------------------------------------
+// raw-thread
+// ---------------------------------------------------------------------------
+
+TEST(RawThreadRule, FiresOnEveryBannedPrimitive) {
+  const Files files = {{"src/runtime/worker.cc",
+                        "#include <thread>\n"
+                        "std::thread t([] {});\n"
+                        "std::jthread j([] {});\n"
+                        "auto f = std::async([] { return 1; });\n"}};
+  const auto findings = RuleFindings(LintFiles(files), "raw-thread");
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(RawThreadRule, AllowedInThreadPoolHeaderAndSuppressible) {
+  const Files files = {
+      {"src/common/thread_pool.h",
+       "#pragma once\nstd::thread worker;\n"},
+      {"src/runtime/worker.cc",
+       "// cimlint: allow(raw-thread)\n"
+       "std::thread legacy;\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "raw-thread").empty());
+}
+
+TEST(RawThreadRule, DoesNotFireOnPoolUsageOrIdentifiers) {
+  const Files files = {{"src/ok.cc",
+                        "#include \"common/thread_pool.h\"\n"
+                        "cim::ThreadPool pool(4);\n"
+                        "int thread_count = 4;\n"
+                        "pool.ParallelFor(8, [](std::size_t) {});\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "raw-thread").empty());
+}
+
+// ---------------------------------------------------------------------------
 // magic-unit-literal
 // ---------------------------------------------------------------------------
 

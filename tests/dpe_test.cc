@@ -102,10 +102,10 @@ TEST(AcceleratorTest, MatchesGoldenModelOnMlp) {
   auto analog = (*acc)->Infer(input);
   ASSERT_TRUE(golden.ok());
   ASSERT_TRUE(analog.ok());
-  ASSERT_EQ(analog->size(), golden->size());
+  ASSERT_EQ(analog->output.size(), golden->size());
   for (std::size_t i = 0; i < golden->size(); ++i) {
     // 8-bit weights/activations over small layers: coarse but close.
-    EXPECT_NEAR((*analog)[i], (*golden)[i], 0.25)
+    EXPECT_NEAR(analog->output[i], (*golden)[i], 0.25)
         << "output " << i;
   }
 }
@@ -123,7 +123,8 @@ TEST(AcceleratorTest, MatchesGoldenModelOnTinyCnn) {
   ASSERT_TRUE(analog.ok());
   double max_err = 0.0;
   for (std::size_t i = 0; i < golden->size(); ++i) {
-    max_err = std::max(max_err, std::fabs((*analog)[i] - (*golden)[i]));
+    max_err =
+        std::max(max_err, std::fabs(analog->output[i] - (*golden)[i]));
   }
   EXPECT_LT(max_err, 0.5);
 }
@@ -135,12 +136,12 @@ TEST(AcceleratorTest, CostReportedPerInference) {
   ASSERT_TRUE(acc.ok());
   EXPECT_GT((*acc)->program_cost().latency_ns, 0.0);
   nn::Tensor input({16});
-  CostReport cost;
-  ASSERT_TRUE((*acc)->Infer(input, &cost).ok());
-  EXPECT_GT(cost.energy_pj, 0.0);
-  EXPECT_GT(cost.latency_ns, 0.0);
+  auto result = (*acc)->Infer(input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->cost.energy_pj, 0.0);
+  EXPECT_GT(result->cost.latency_ns, 0.0);
   // Programming is far slower than inference.
-  EXPECT_GT((*acc)->program_cost().latency_ns, cost.latency_ns);
+  EXPECT_GT((*acc)->program_cost().latency_ns, result->cost.latency_ns);
 }
 
 TEST(AcceleratorTest, AnalyticalModelTracksBehaviouralCosts) {
@@ -158,8 +159,9 @@ TEST(AcceleratorTest, AnalyticalModelTracksBehaviouralCosts) {
 
   nn::Tensor input({100});
   for (auto& v : input.vec()) v = rng.Uniform(0.0, 1.0);
-  CostReport behavioural;
-  ASSERT_TRUE((*acc)->Infer(input, &behavioural).ok());
+  auto result = (*acc)->Infer(input);
+  ASSERT_TRUE(result.ok());
+  const CostReport& behavioural = result->cost;
 
   EXPECT_LT(std::fabs(std::log2(est->latency_ns /
                                 behavioural.latency_ns)),
@@ -189,8 +191,8 @@ TEST(AcceleratorTest, FaultInjectionPerturbsOutput) {
   ASSERT_TRUE(clean_out.ok());
   ASSERT_TRUE(faulty_out.ok());
   double diff = 0.0;
-  for (std::size_t i = 0; i < clean_out->size(); ++i) {
-    diff += std::fabs((*clean_out)[i] - (*faulty_out)[i]);
+  for (std::size_t i = 0; i < clean_out->output.size(); ++i) {
+    diff += std::fabs(clean_out->output[i] - faulty_out->output[i]);
   }
   EXPECT_GT(diff, 0.0);
 }

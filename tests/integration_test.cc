@@ -241,7 +241,7 @@ TEST(Integration, NoisyDpeKeepsTopOneAgreement) {
       }
       return best;
     };
-    if (argmax(*golden) == argmax(*analog)) ++agree;
+    if (argmax(*golden) == argmax(analog->output)) ++agree;
   }
   EXPECT_GE(agree, kTrials * 3 / 4) << "top-1 agreement too low";
 }

@@ -23,6 +23,21 @@ TEST(LoadInformationTest, TracksLatencyDemandUtilization) {
   EXPECT_DOUBLE_EQ(lim.UtilizationOf(3), 0.7);
 }
 
+TEST(LoadInformationTest, IngestsRealPoolUtilization) {
+  // Feed utilization measured by an actual host thread pool instead of
+  // hand-entered numbers.
+  ThreadPool pool(2);
+  for (int i = 0; i < 4; ++i) pool.Submit([] {}).get();
+  LoadInformationManager lim;
+  lim.IngestPool(pool, /*first_worker=*/10);
+  for (WorkerId w = 10; w < 12; ++w) {
+    EXPECT_GE(lim.UtilizationOf(w), 0.0);
+    EXPECT_LE(lim.UtilizationOf(w), 1.0);
+  }
+  // Unrelated workers stay unknown.
+  EXPECT_DOUBLE_EQ(lim.UtilizationOf(0), 0.0);
+}
+
 TEST(LoadBalancerTest, AssignsToLeastLoaded) {
   LoadBalancer balancer;
   ASSERT_TRUE(balancer.AddWorker({1, 100.0, true}).ok());

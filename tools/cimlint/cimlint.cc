@@ -216,6 +216,21 @@ void CheckRawRng(const SourceFile& file, const StrippedFile& stripped,
   }
 }
 
+void CheckRawThread(const SourceFile& file, const StrippedFile& stripped,
+                    std::vector<Finding>& findings) {
+  if (file.repo_path == "src/common/thread_pool.h") return;
+  static const std::regex kStdThread(
+      R"(std\s*::\s*(thread|jthread|async)\b)");
+  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
+    if (std::regex_search(stripped.code[i], kStdThread)) {
+      Report(findings, file, stripped, i, "raw-thread",
+             "raw std::thread/jthread/async; use cim::ThreadPool "
+             "(common/thread_pool.h) so shutdown, exceptions and "
+             "utilization stay centralized");
+    }
+  }
+}
+
 void CheckMagicUnitLiteral(const SourceFile& file,
                            const StrippedFile& stripped,
                            std::vector<Finding>& findings) {
@@ -372,6 +387,7 @@ std::vector<Finding> LintFile(const SourceFile& file,
   CheckPragmaOnce(file, stripped, findings);
   CheckUsingNamespace(file, stripped, findings);
   CheckRawRng(file, stripped, findings);
+  CheckRawThread(file, stripped, findings);
   CheckMagicUnitLiteral(file, stripped, findings);
   CheckBannedFunctions(file, stripped, findings);
   CheckUnusedStatus(file, stripped, status_functions, findings);

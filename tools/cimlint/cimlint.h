@@ -23,6 +23,13 @@
 //                          anywhere outside src/common/rng.h. Every noise
 //                          path must go through the seeded Rng so results
 //                          stay bit-for-bit reproducible.
+//   raw-thread             std::thread/std::jthread/std::async anywhere
+//                          outside src/common/thread_pool.h. Host
+//                          parallelism goes through cim::ThreadPool so
+//                          shutdown, exception propagation and utilization
+//                          accounting stay in one audited place (and so
+//                          the determinism rules of DESIGN.md § Threading
+//                          are enforceable).
 //   using-namespace-header `using namespace` in a header.
 //   pragma-once            Header missing `#pragma once`.
 //   magic-unit-literal     A nonzero numeric literal passed directly to a
