@@ -11,6 +11,7 @@
 // about whether the aggressor was active.
 #include <cstdio>
 
+#include "common/contracts.h"
 #include "common/event_queue.h"
 #include "noc/mesh.h"
 
@@ -46,7 +47,7 @@ RunStats RunVictim(bool aggressor_on, cim::noc::QosClass victim_class,
       p.destination = {3, aggressor_row};
       p.payload_bytes = 2048;
       p.qos = cim::noc::QosClass::kBulk;
-      (void)noc->Inject(p);
+      CIM_CHECK(noc->Inject(p).ok());
     }
   }
   for (int i = 0; i < 200; ++i) {
@@ -57,7 +58,7 @@ RunStats RunVictim(bool aggressor_on, cim::noc::QosClass victim_class,
     p.destination = {3, 0};
     p.payload_bytes = 64;
     p.qos = victim_class;
-    (void)noc->Inject(p);
+    CIM_CHECK(noc->Inject(p).ok());
   }
   queue.Run();
   const cim::RunningStat* stat = noc->StreamLatency(1);

@@ -8,6 +8,7 @@
 // weights.
 #include <cstdio>
 
+#include "common/contracts.h"
 #include "dpe/training.h"
 #include "nn/dataset.h"
 
@@ -72,7 +73,7 @@ int main() {
     auto engine = cim::crossbar::MvmEngine::Create(
         params.engine, data->dim, data->classes, cim::Rng(11));
     if (!engine.ok()) continue;
-    (void)engine->ProgramWeights(learned);
+    CIM_CHECK(engine->ProgramWeights(learned).ok());
     std::printf("%-14.2f %12.3f\n", sigma, EvalAccuracy(*engine, *data));
   }
 
@@ -84,7 +85,7 @@ int main() {
     auto engine = cim::crossbar::MvmEngine::Create(
         params.engine, data->dim, data->classes, cim::Rng(11));
     if (!engine.ok()) continue;
-    (void)engine->ProgramWeights(learned);
+    CIM_CHECK(engine->ProgramWeights(learned).ok());
     engine->Age(cim::TimeNs::Seconds(seconds));
     std::printf("%-14.3g %12.3f\n", seconds, EvalAccuracy(*engine, *data));
   }

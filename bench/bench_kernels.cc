@@ -5,6 +5,7 @@
 // not paper results.
 #include <benchmark/benchmark.h>
 
+#include "common/contracts.h"
 #include "common/rng.h"
 #include "crossbar/mvm_engine.h"
 #include "dpe/analytical.h"
@@ -33,7 +34,7 @@ void BM_CrossbarCycle(benchmark::State& state) {
     return;
   }
   std::vector<std::uint64_t> levels(n * n, 1);
-  (void)xbar->ProgramLevels(levels);
+  CIM_CHECK(xbar->ProgramLevels(levels).ok());
   std::vector<std::uint64_t> drive(n, 1);
   for (auto _ : state) {
     auto cycle = xbar->Cycle(drive);
@@ -57,7 +58,7 @@ void BM_MvmCompute(benchmark::State& state) {
   cim::Rng rng(3);
   std::vector<double> weights(dim * dim);
   for (auto& w : weights) w = rng.Uniform(-1.0, 1.0);
-  (void)engine->ProgramWeights(weights);
+  CIM_CHECK(engine->ProgramWeights(weights).ok());
   std::vector<double> x(dim, 0.5);
   for (auto _ : state) {
     auto result = engine->Compute(x);
@@ -100,7 +101,7 @@ void BM_NocAllToAll(benchmark::State& state) {
         p.source = {x, y};
         p.destination = {static_cast<std::uint16_t>(side - 1 - x),
                          static_cast<std::uint16_t>(side - 1 - y)};
-        (void)noc->Inject(p);
+        CIM_CHECK(noc->Inject(p).ok());
       }
     }
     queue.Run();

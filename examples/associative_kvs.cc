@@ -8,6 +8,7 @@
 // function to show the space-for-compute trade NVM makes durable.
 #include <cstdio>
 
+#include "common/contracts.h"
 #include "logic/associative.h"
 #include "runtime/memoization.h"
 
@@ -20,10 +21,10 @@ int main() {
 
   // Populate: 16-bit key prefix (bits 0-15) + 8-bit shard tag (16-23).
   // Entry 2 uses a wildcard low byte: it matches a whole key range.
-  (void)tcam->WriteRowBits(0, 0x1111u | (0x01u << 16), 0x00FFFFFFu);
-  (void)tcam->WriteRowBits(1, 0x2222u | (0x01u << 16), 0x00FFFFFFu);
-  (void)tcam->WriteRowBits(2, 0x3300u | (0x02u << 16), 0x00FFFF00u);
-  (void)tcam->WriteRowBits(3, 0x4444u | (0x02u << 16), 0x00FFFFFFu);
+  CIM_CHECK(tcam->WriteRowBits(0, 0x1111u | (0x01u << 16), 0x00FFFFFFu).ok());
+  CIM_CHECK(tcam->WriteRowBits(1, 0x2222u | (0x01u << 16), 0x00FFFFFFu).ok());
+  CIM_CHECK(tcam->WriteRowBits(2, 0x3300u | (0x02u << 16), 0x00FFFF00u).ok());
+  CIM_CHECK(tcam->WriteRowBits(3, 0x4444u | (0x02u << 16), 0x00FFFFFFu).ok());
 
   std::printf("one-cycle associative lookups (64-row TCAM):\n");
   for (std::uint32_t key : {0x011111u, 0x0233ABu, 0x019999u}) {
@@ -43,7 +44,7 @@ int main() {
                                       : cim::logic::Ternary::kZero;
   }
   const auto shard2 = tcam->Search(probe);
-  (void)tcam->WriteToMatches(shard2, 16, 0x05, 8);
+  CIM_CHECK(tcam->WriteToMatches(shard2, 16, 0x05, 8).ok());
   std::printf("\nbulk re-shard: %zu entries moved shard 2 -> 5 in one "
               "associative write cycle\n",
               shard2.matches.size());
@@ -59,7 +60,7 @@ int main() {
   for (std::uint64_t key : query_stream) {
     auto hit = memo->Lookup(key, recompute_pj);
     if (!hit.ok()) {
-      (void)memo->Insert(key, rank(key), recompute_pj);
+      CIM_CHECK(memo->Insert(key, rank(key), recompute_pj).ok());
     }
   }
   const auto& stats = memo->stats();

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "arch/micro_unit.h"
+#include "common/contracts.h"
 #include "common/rng.h"
 #include "crossbar/mvm_engine.h"
 
@@ -70,14 +71,14 @@ int main() {
   auto redundant = cim::crossbar::MvmEngine::Create(EngineParams(), kNodes,
                                                     kNodes, cim::Rng(23));
   if (!primary.ok() || !redundant.ok()) return 1;
-  (void)primary->ProgramWeights(matrix);
-  (void)redundant->ProgramWeights(matrix);
+  CIM_CHECK(primary->ProgramWeights(matrix).ok());
+  CIM_CHECK(redundant->ProgramWeights(matrix).ok());
 
   // Persistent rank state lives in a micro-unit's NVM-backed local slot.
   auto state_unit = cim::arch::MicroUnit::Create(cim::arch::MicroUnitParams{});
   if (!state_unit.ok()) return 1;
   std::vector<double> ranks(kNodes, 1.0 / kNodes);
-  (void)state_unit->WriteSlot(0, ranks);
+  CIM_CHECK(state_unit->WriteSlot(0, ranks).ok());
 
   cim::CostReport total_cost;
   cim::crossbar::MvmEngine* active = &primary.value();
@@ -117,7 +118,7 @@ int main() {
       delta += std::fabs(updated - ranks[v]);
       ranks[v] = updated;
     }
-    (void)state_unit->WriteSlot(0, ranks);  // checkpoint every iteration
+    CIM_CHECK(state_unit->WriteSlot(0, ranks).ok());  // checkpoint every iteration
     if (iter % 6 == 0 || delta < 5e-3) {
       std::printf("  iter %2d on %-9s delta=%.6f\n", iter, active_name,
                   delta);

@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "arch/fabric.h"
+#include "common/contracts.h"
 
 namespace {
 
@@ -15,7 +16,7 @@ void LoadProgram(cim::arch::Fabric& fabric, cim::noc::NodeId node,
                  cim::arch::Program program) {
   auto tile = fabric.TileAt(node);
   if (tile.ok()) {
-    (void)(*tile)->micro_unit(0).LoadProgram(std::move(program));
+    CIM_CHECK((*tile)->micro_unit(0).LoadProgram(std::move(program)).ok());
   }
 }
 
@@ -35,13 +36,13 @@ int main() {
   LoadProgram(fabric, {0, 0}, {{cim::arch::OpCode::kMulScalar, 2.0}});
   LoadProgram(fabric, {1, 0}, {{cim::arch::OpCode::kAddScalar, 1.0}});
   LoadProgram(fabric, {2, 0}, {{cim::arch::OpCode::kMulScalar, 10.0}});
-  (void)fabric.ConfigureStream(1, {{0, 0}, {1, 0}, {2, 0}});
+  CIM_CHECK(fabric.ConfigureStream(1, {{0, 0}, {1, 0}, {2, 0}}).ok());
   double static_result = 0.0;
-  (void)fabric.SetStreamSink(1, [&](std::vector<double> payload,
-                                    cim::TimeNs) {
+  CIM_CHECK(fabric.SetStreamSink(1, [&](std::vector<double> payload,
+                                        cim::TimeNs) {
     static_result = payload[0];
-  });
-  (void)fabric.InjectData(1, {3.0});
+  }).ok());
+  CIM_CHECK(fabric.InjectData(1, {3.0}).ok());
   fabric.queue().Run();
   std::printf("static dataflow:  3 -> x2 -> +1 -> x10 = %.0f\n",
               static_result);
@@ -50,7 +51,7 @@ int main() {
   LoadProgram(fabric, {0, 1}, {});  // classifier entry (identity)
   LoadProgram(fabric, {3, 1}, {{cim::arch::OpCode::kMulScalar, 1.0}});
   LoadProgram(fabric, {0, 3}, {{cim::arch::OpCode::kMulScalar, -1.0}});
-  (void)fabric.ConfigureDynamicStream(
+  CIM_CHECK(fabric.ConfigureDynamicStream(
       2, {0, 1},
       [](cim::noc::NodeId current, std::span<const double> payload)
           -> std::optional<cim::noc::NodeId> {
@@ -60,33 +61,36 @@ int main() {
                                    : cim::noc::NodeId{0, 3};
         }
         return std::nullopt;
-      });
-  (void)fabric.SetStreamSink(2, [](std::vector<double> payload, cim::TimeNs) {
+      }).ok());
+  CIM_CHECK(fabric.SetStreamSink(2, [](std::vector<double> payload,
+                                       cim::TimeNs) {
     std::printf("dynamic dataflow: payload %.0f exited at the %s branch\n",
                 payload[0], payload[0] >= 0 ? "east (passthrough)"
                                             : "north (negating)");
-  });
-  (void)fabric.InjectData(2, {9.0});
-  (void)fabric.InjectData(2, {2.0});
+  }).ok());
+  CIM_CHECK(fabric.InjectData(2, {9.0}).ok());
+  CIM_CHECK(fabric.InjectData(2, {2.0}).ok());
   fabric.queue().Run();
 
   // ---- 3. self-programmable dataflow ------------------------------------
   // The tile at (2,2) starts as identity; a code packet re-programs it to
   // a sigmoid and the same stream immediately computes differently.
   LoadProgram(fabric, {2, 2}, {});
-  (void)fabric.ConfigureStream(3, {{2, 2}});
+  CIM_CHECK(fabric.ConfigureStream(3, {{2, 2}}).ok());
   double last = 0.0;
-  (void)fabric.SetStreamSink(3, [&](std::vector<double> payload,
-                                    cim::TimeNs) { last = payload[0]; });
-  (void)fabric.InjectData(3, {0.0});
+  CIM_CHECK(fabric.SetStreamSink(3, [&](std::vector<double> payload,
+                                        cim::TimeNs) { last = payload[0]; })
+                .ok());
+  CIM_CHECK(fabric.InjectData(3, {0.0}).ok());
   fabric.queue().Run();
   std::printf("self-programming: before code packet f(0) = %.3f "
               "(identity)\n",
               last);
-  (void)fabric.SendProgram({0, 0}, {2, 2}, 0,
-                           {{cim::arch::OpCode::kSigmoid, 0.0}});
+  CIM_CHECK(fabric.SendProgram({0, 0}, {2, 2}, 0,
+                               {{cim::arch::OpCode::kSigmoid, 0.0}})
+                .ok());
   fabric.queue().Run();
-  (void)fabric.InjectData(3, {0.0});
+  CIM_CHECK(fabric.InjectData(3, {0.0}).ok());
   fabric.queue().Run();
   std::printf("self-programming: after  code packet f(0) = %.3f "
               "(sigmoid)\n",

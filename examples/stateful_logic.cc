@@ -5,6 +5,7 @@
 // the cycle and energy cost per family for the same 16-bit additions.
 #include <cstdio>
 
+#include "common/contracts.h"
 #include "logic/arith.h"
 #include "logic/stateful_logic.h"
 
@@ -47,12 +48,12 @@ int main() {
   if (!bulk.ok()) return 1;
   std::vector<std::uint64_t> row_a(4, 0xF0F0F0F0F0F0F0F0ULL);
   std::vector<std::uint64_t> row_b(4, 0x00FF00FF00FF00FFULL);
-  (void)bulk->WriteRow(0, row_a);
-  (void)bulk->WriteRow(1, row_b);
+  CIM_CHECK(bulk->WriteRow(0, row_a).ok());
+  CIM_CHECK(bulk->WriteRow(1, row_b).ok());
   bulk->ResetCost();
-  (void)bulk->And(0, 1, 2);
-  (void)bulk->Or(0, 1, 3);
-  (void)bulk->Xor(0, 1, 4);
+  CIM_CHECK(bulk->And(0, 1, 2).ok());
+  CIM_CHECK(bulk->Or(0, 1, 3).ok());
+  CIM_CHECK(bulk->Xor(0, 1, 4).ok());
   std::printf("bulk bitwise: AND+OR+XOR over 256-bit rows = %llu row "
               "cycles, %.0f pJ (768 bit-ops, row-parallel)\n",
               static_cast<unsigned long long>(bulk->cost().operations),

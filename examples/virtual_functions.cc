@@ -4,6 +4,7 @@
 // affected function migrates to a spare tile without the tenant noticing.
 #include <cstdio>
 
+#include "common/contracts.h"
 #include "runtime/virtualization.h"
 
 int main() {
@@ -37,16 +38,18 @@ int main() {
               manager.free_tiles());
 
   double out_a = 0.0, out_b = 0.0;
-  (void)manager.SetSink("tenantA/scaler",
-                        [&](std::vector<double> payload, cim::TimeNs) {
-                          out_a = payload[0];
-                        });
-  (void)manager.SetSink("tenantB/squash",
-                        [&](std::vector<double> payload, cim::TimeNs) {
-                          out_b = payload[0];
-                        });
-  (void)manager.Invoke("tenantA/scaler", {10.0});
-  (void)manager.Invoke("tenantB/squash", {0.0});
+  CIM_CHECK(manager.SetSink("tenantA/scaler",
+                            [&](std::vector<double> payload, cim::TimeNs) {
+                              out_a = payload[0];
+                            })
+                .ok());
+  CIM_CHECK(manager.SetSink("tenantB/squash",
+                            [&](std::vector<double> payload, cim::TimeNs) {
+                              out_b = payload[0];
+                            })
+                .ok());
+  CIM_CHECK(manager.Invoke("tenantA/scaler", {10.0}).ok());
+  CIM_CHECK(manager.Invoke("tenantB/squash", {0.0}).ok());
   fabric.queue().Run();
   std::printf("tenant A: f(10) = %.1f   tenant B: f(0) = %.3f   (isolated "
               "partitions, independent QoS)\n",
@@ -54,19 +57,19 @@ int main() {
 
   // Failover: kill one of tenant A's tiles mid-service.
   const cim::noc::NodeId victim = fn_a->tiles[1];
-  (void)fabric.FailTile(victim);
+  CIM_CHECK(fabric.FailTile(victim).ok());
   auto migrated = manager.MigrateOff(victim);
   std::printf("tile (%u,%u) failed -> migrated %d function stage(s) to a "
               "spare tile\n",
               victim.x, victim.y, migrated.ok() ? *migrated : -1);
-  (void)manager.Invoke("tenantA/scaler", {10.0});
+  CIM_CHECK(manager.Invoke("tenantA/scaler", {10.0}).ok());
   fabric.queue().Run();
   std::printf("tenant A after failover: f(10) = %.1f (same answer, new "
               "silicon)\n",
               out_a);
 
   // Service chaining needs an explicit grant (fail-closed isolation).
-  (void)manager.GrantChain("tenantA/scaler", "tenantB/squash");
+  CIM_CHECK(manager.GrantChain("tenantA/scaler", "tenantB/squash").ok());
   std::printf("chain tenantA -> tenantB granted explicitly; cross-partition "
               "traffic without a grant is dropped by the partition "
               "manager\n");

@@ -34,6 +34,34 @@ run_preset() {
   ctest --preset "$preset"
   echo "==> [$preset] cimlint"
   "./build/$preset/tools/cimlint/cimlint" --root . src bench examples tests
+  if [[ "$preset" == "relwithdebinfo" ]]; then
+    run_fault_determinism_gate "$preset"
+  fi
+}
+
+# Replay determinism gate: the fault ablation drives scenario-seeded
+# injection, ABFT detection and retry/remap/degrade recovery end to end and
+# prints every availability/accuracy figure it derives. Same seeds + same
+# scenarios must reproduce the exact same bytes on a second run — any diff
+# means a FaultLog or recovery path picked up hidden nondeterminism.
+run_fault_determinism_gate() {
+  local preset="$1"
+  local bench="./build/$preset/bench/bench_ablation_faults"
+  if [[ ! -x "$bench" ]]; then
+    echo "==> [$preset] fault determinism gate: bench not built; skipping"
+    return 0
+  fi
+  echo "==> [$preset] fault determinism gate (two identical replays)"
+  local run1 run2
+  run1="$(mktemp)" && run2="$(mktemp)"
+  "$bench" > "$run1"
+  "$bench" > "$run2"
+  if ! diff -u "$run1" "$run2"; then
+    echo "FAIL: fault-injection replay diverged between identical runs"
+    rm -f "$run1" "$run2"
+    return 1
+  fi
+  rm -f "$run1" "$run2"
 }
 
 run_clang_tidy() {

@@ -54,6 +54,8 @@ Expected<CostReport> Crossbar::ProgramLevels(
           cells_[r * params_.cols + c].Program(params_.cell,
                                                levels[r * params_.cols + c],
                                                rng_);
+      ++write_attempts_;
+      if (!pr.verified) ++write_verify_failures_;
       total.energy_pj += pr.energy.pj;
       if (params_.parallel_row_write) {
         row_latency = std::max(row_latency, pr.latency.ns);
@@ -78,6 +80,8 @@ Expected<CostReport> Crossbar::ProgramCell(std::size_t row, std::size_t col,
               OutOfRange("cell level exceeds cell_bits"));
   const device::ProgramResult pr =
       cells_[row * params_.cols + col].Program(params_.cell, level, rng_);
+  ++write_attempts_;
+  if (!pr.verified) ++write_verify_failures_;
   CostReport cost;
   cost.latency_ns = pr.latency.ns;
   cost.energy_pj = pr.energy.pj;

@@ -107,6 +107,17 @@ class Crossbar {
                        device::CellFault fault);
   [[nodiscard]] std::size_t CountFaultedCells() const;
 
+  // Write-verify telemetry for the aging monitor (§V.D): every cell
+  // program counts as one attempt; an attempt whose program-verify loop
+  // exhausted its budget (ProgramResult.verified == false — faulted or
+  // badly worn cells) counts as a failure.
+  [[nodiscard]] std::uint64_t write_attempts() const {
+    return write_attempts_;
+  }
+  [[nodiscard]] std::uint64_t write_verify_failures() const {
+    return write_verify_failures_;
+  }
+
   // Direct cell access for white-box tests.
   [[nodiscard]] const device::MemristorCell& cell(std::size_t row,
                                                   std::size_t col) const {
@@ -120,6 +131,8 @@ class Crossbar {
   CrossbarParams params_;
   std::vector<device::MemristorCell> cells_;
   Rng rng_;
+  std::uint64_t write_attempts_ = 0;
+  std::uint64_t write_verify_failures_ = 0;
 };
 
 }  // namespace cim::crossbar

@@ -30,6 +30,9 @@ Status MvmEngineParams::Validate() const {
     return InvalidArgument("the MVM engine drives inputs bit-serially and "
                            "requires 1-bit DACs");
   }
+  if (guard_margin <= 0.0) {
+    return InvalidArgument("guard_margin must be positive");
+  }
   return array.Validate();
 }
 
@@ -42,6 +45,10 @@ Expected<MvmEngine> MvmEngine::Create(const MvmEngineParams& params,
   }
   if (out_dim == 0 || out_dim > params.array.cols) {
     return InvalidArgument("out_dim must be in [1, array.cols]");
+  }
+  if (params.guard_column && out_dim >= params.array.cols) {
+    return InvalidArgument("guard column needs one spare physical column: "
+                           "out_dim must be < array.cols");
   }
   MvmEngine engine(params, in_dim, out_dim);
   for (int s = 0; s < params.slices(); ++s) {
@@ -90,6 +97,33 @@ Expected<CostReport> MvmEngine::ProgramWeights(
     weight_codes_[i] = QuantizeWeight(weights[i]);
   }
 
+  const auto max_code =
+      static_cast<std::int64_t>((1LL << (params_.weight_bits - 1)) - 1);
+  if (params_.guard_column) {
+    // Guard code of row r = round(sum_c code[r][c] / guard_scale_), with
+    // one integer downscale chosen so every row sum fits a weight code.
+    std::vector<std::int64_t> row_sums(in_dim_, 0);
+    std::int64_t max_abs_sum = 0;
+    for (std::size_t r = 0; r < in_dim_; ++r) {
+      std::int64_t sum = 0;
+      for (std::size_t c = 0; c < out_dim_; ++c) {
+        sum += weight_codes_[r * out_dim_ + c];
+      }
+      row_sums[r] = sum;
+      max_abs_sum = std::max(max_abs_sum, sum >= 0 ? sum : -sum);
+    }
+    guard_scale_ = std::max<std::int64_t>(
+        1, (max_abs_sum + max_code - 1) / max_code);
+    guard_codes_.resize(in_dim_);
+    for (std::size_t r = 0; r < in_dim_; ++r) {
+      const double scaled = static_cast<double>(row_sums[r]) /
+                            static_cast<double>(guard_scale_);
+      guard_codes_[r] = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(std::llround(scaled)), -max_code,
+          max_code);
+    }
+  }
+
   const int cell_bits = params_.array.cell.cell_bits;
   const std::uint64_t digit_mask = (1ULL << cell_bits) - 1;
   const std::size_t rows = params_.array.rows;
@@ -109,6 +143,19 @@ Expected<CostReport> MvmEngine::ProgramWeights(
           pos_levels[r * cols + c] = digit;
         } else {
           neg_levels[r * cols + c] = digit;
+        }
+      }
+      if (params_.guard_column) {
+        // The guard lives in the first physical column past the logical
+        // matrix and programs exactly like a weight.
+        const std::int64_t code = guard_codes_[r];
+        const auto magnitude =
+            static_cast<std::uint64_t>(code >= 0 ? code : -code);
+        const std::uint64_t digit = (magnitude >> (s * cell_bits)) & digit_mask;
+        if (code >= 0) {
+          pos_levels[r * cols + out_dim_] = digit;
+        } else {
+          neg_levels[r * cols + out_dim_] = digit;
         }
       }
     }
@@ -131,6 +178,12 @@ Expected<CostReport> MvmEngine::UpdateWeights(
     std::span<const double> weights) {
   if (!programmed_) {
     return FailedPrecondition("ProgramWeights must run before UpdateWeights");
+  }
+  if (params_.guard_column) {
+    // Incremental updates would silently invalidate the programmed row
+    // sums; the guard is an inference-serving feature. Reprogram instead.
+    return FailedPrecondition(
+        "UpdateWeights is unsupported with guard_column; use ProgramWeights");
   }
   if (weights.size() != in_dim_ * out_dim_) {
     return InvalidArgument("weight matrix size mismatch");
@@ -209,7 +262,14 @@ Expected<MvmResult> MvmEngine::Compute(std::span<const double> x,
   MvmResult result;
   result.y.assign(out_dim_, 0.0);
   std::vector<double> accum(out_dim_, 0.0);
+  double accum_guard = 0.0;
   std::vector<std::uint64_t> row_codes(array.rows, 0);
+  // Sensing the guard costs one extra ADC conversion per cycle but leaves
+  // the noise stream unchanged: Crossbar::Cycle draws read noise for every
+  // cell on an active row regardless of how many columns are digitized, so
+  // guard-on and guard-off runs stay bit-identical on the logical outputs.
+  const std::size_t sense_cols =
+      params_.guard_column ? out_dim_ + 1 : out_dim_;
 
   for (int b = 0; b < params_.input_bits; ++b) {
     std::size_t active = 0;
@@ -229,14 +289,14 @@ Expected<MvmResult> MvmEngine::Compute(std::span<const double> x,
       for (int plane = 0; plane < 2; ++plane) {
         Crossbar& xbar =
             plane == 0 ? positive_planes_[s] : negative_planes_[s];
-        auto cycle = xbar.Cycle(row_codes, out_dim_, noise_rng);
+        auto cycle = xbar.Cycle(row_codes, sense_cols, noise_rng);
         if (!cycle.ok()) return cycle.status();
         // All (slice, plane) arrays fire in parallel within the bit cycle.
         cycle_latency = std::max(cycle_latency, cycle->cost.latency_ns);
         result.cost.energy_pj += cycle->cost.energy_pj;
         result.cost.operations += cycle->cost.operations;
         const double sign = plane == 0 ? 1.0 : -1.0;
-        for (std::size_t c = 0; c < out_dim_; ++c) {
+        for (std::size_t c = 0; c < sense_cols; ++c) {
           const double sensed =
               array.adc.Decode(cycle->column_codes[c], full_scale);
           const double corrected = sensed / attenuation -
@@ -244,7 +304,11 @@ Expected<MvmResult> MvmEngine::Compute(std::span<const double> x,
                                        array.cell.g_off_siemens;
           const double digit_sum =
               std::max(0.0, std::round(corrected / (v_read * g_step)));
-          accum[c] += sign * slice_weight * digit_sum;
+          if (c < out_dim_) {
+            accum[c] += sign * slice_weight * digit_sum;
+          } else {
+            accum_guard += sign * slice_weight * digit_sum;
+          }
           result.cost.energy_pj += params_.shift_add_energy.pj;
         }
       }
@@ -259,7 +323,72 @@ Expected<MvmResult> MvmEngine::Compute(std::span<const double> x,
   const double scale = (params_.weight_range / max_w_code) *
                        (params_.input_range / max_x_code);
   for (std::size_t c = 0; c < out_dim_; ++c) result.y[c] = accum[c] * scale;
+
+  if (params_.guard_column) {
+    // ABFT check: guard holds row sums / guard_scale_, so in exact
+    // arithmetic guard_scale_ * y_guard == sum_c y_c for any input.
+    double y_sum = 0.0;
+    for (double a : accum) y_sum += a;
+    double sum_x_codes = 0.0;
+    for (std::uint64_t code : codes) {
+      sum_x_codes += static_cast<double>(code);
+    }
+    result.guard_checked = true;
+    result.guard_residual =
+        std::abs(static_cast<double>(guard_scale_) * accum_guard - y_sum) *
+        scale;
+    result.guard_threshold = GuardThreshold(sum_x_codes);
+    result.guard_ok = result.guard_residual <= result.guard_threshold;
+  }
   return result;
+}
+
+double MvmEngine::GuardThreshold(double sum_x_codes) const {
+  // Fault-free residual spread in digit units, per sensed cycle:
+  //   * half an ADC LSB (amplified by the attenuation correction) plus half
+  //     a digit of rounding,
+  //   * lognormal read noise across <= in_dim cells at worst-case g_on,
+  //     summing in quadrature down the column.
+  const CrossbarParams& array = params_.array;
+  const double v_read = array.dac.v_read;
+  const double g_step = (array.cell.g_on_siemens - array.cell.g_off_siemens) /
+                        static_cast<double>(array.cell.levels() - 1);
+  const double full_scale = static_cast<double>(array.rows) * v_read *
+                            array.cell.g_on_siemens;
+  const double adc_lsb_digits =
+      full_scale / static_cast<double>((1ULL << array.adc.bits) - 1) /
+      (1.0 - array.ir_drop_alpha) / (v_read * g_step);
+  const double rho =
+      0.5 * (adc_lsb_digits + 1.0) +
+      array.cell.read_noise_sigma *
+          (array.cell.g_on_siemens / g_step) *
+          std::sqrt(static_cast<double>(in_dim_));
+
+  // Each cycle's digit error is weighted 2^(bit + slice*cell_bits) by the
+  // shift-and-add; independent cycles add in quadrature (two planes).
+  const int cell_bits = array.cell.cell_bits;
+  double weight_sq = 0.0;
+  for (int b = 0; b < params_.input_bits; ++b) {
+    for (int s = 0; s < params_.slices(); ++s) {
+      weight_sq += 2.0 * std::pow(4.0, b + s * cell_bits);
+    }
+  }
+  const double w_rms = std::sqrt(weight_sq);
+
+  // The residual mixes out_dim unit-weight columns with one guard column
+  // amplified by guard_scale_; the guard's own rounding (half a code per
+  // row) couples through the input code mass.
+  const double s = static_cast<double>(guard_scale_);
+  const double column_mix =
+      std::sqrt(static_cast<double>(out_dim_) + s * s);
+  const auto max_w_code =
+      static_cast<double>((1LL << (params_.weight_bits - 1)) - 1);
+  const auto max_x_code =
+      static_cast<double>((1ULL << params_.input_bits) - 1);
+  const double scale = (params_.weight_range / max_w_code) *
+                       (params_.input_range / max_x_code);
+  return params_.guard_margin * scale *
+         (rho * column_mix * w_rms + 0.5 * s * sum_x_codes);
 }
 
 Expected<MvmResult> MvmEngine::ComputeTranspose(std::span<const double> e) {
@@ -438,6 +567,26 @@ void MvmEngine::InjectCellFault(int plane, int slice, std::size_t row,
                                 std::size_t col, device::CellFault fault) {
   auto& planes = plane == 0 ? positive_planes_ : negative_planes_;
   planes.at(static_cast<std::size_t>(slice)).InjectCellFault(row, col, fault);
+}
+
+void MvmEngine::InjectCellFaultAllSlices(int plane, std::size_t row,
+                                         std::size_t col,
+                                         device::CellFault fault) {
+  auto& planes = plane == 0 ? positive_planes_ : negative_planes_;
+  for (auto& xbar : planes) xbar.InjectCellFault(row, col, fault);
+}
+
+EngineWriteStats MvmEngine::write_stats() const {
+  EngineWriteStats stats;
+  for (const auto& xbar : positive_planes_) {
+    stats.attempts += xbar.write_attempts();
+    stats.verify_failures += xbar.write_verify_failures();
+  }
+  for (const auto& xbar : negative_planes_) {
+    stats.attempts += xbar.write_attempts();
+    stats.verify_failures += xbar.write_verify_failures();
+  }
+  return stats;
 }
 
 void MvmEngine::Age(TimeNs elapsed) {

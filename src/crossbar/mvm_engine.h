@@ -34,6 +34,21 @@ struct MvmEngineParams {
   EnergyPj shift_add_energy{0.05};
   TimeNs shift_add_latency{0.1};
 
+  // ABFT guard column (§V.A "extra bits on data"): ProgramWeights also
+  // programs one extra physical column per plane holding the scaled row
+  // sums of the weight codes, and every Compute senses it and checks
+  // |guard_scale * y_guard - sum_c y_c| against an analytic error bound.
+  // Any corruption large enough to matter couples into the comparison
+  // because the guard weighs every logical column at once. Costs one extra
+  // ADC conversion per analog cycle; requires out_dim < array.cols.
+  bool guard_column = false;
+  // Threshold multiplier over the analytic fault-free residual envelope
+  // (itself ~3 sigma of the measured noise-only residual). Larger = fewer
+  // false alarms, smaller = finer faults detected. The 1.5 default keeps
+  // ~2x headroom over the observed fault-free maximum while catching
+  // multi-cell stuck clusters (~24 cells on 64-row tiles, ~48 on 128x128).
+  double guard_margin = 1.5;
+
   [[nodiscard]] Status Validate() const;
   [[nodiscard]] int slices() const {
     return (weight_bits - 1 + array.cell.cell_bits - 1) /
@@ -44,6 +59,19 @@ struct MvmEngineParams {
 struct MvmResult {
   std::vector<double> y;
   CostReport cost;
+  // Guard-column verdict (meaningful only when guard_checked): the §V.A
+  // tile-boundary detection signal the DPE recovery path keys off.
+  bool guard_checked = false;
+  bool guard_ok = true;
+  double guard_residual = 0.0;
+  double guard_threshold = 0.0;
+};
+
+// Aggregate program-verify telemetry of every array in an engine; feeds
+// the reliability::AgingMonitor's verify-failure-rate health signal.
+struct EngineWriteStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t verify_failures = 0;
 };
 
 class MvmEngine {
@@ -107,6 +135,20 @@ class MvmEngine {
   void InjectCellFault(int plane, int slice, std::size_t row, std::size_t col,
                        device::CellFault fault);
 
+  // Fault the logical cell (row, col) in every bit-slice array of one
+  // plane — what a physical defect at one crosspoint looks like after
+  // bit-slicing replicates the position across arrays.
+  void InjectCellFaultAllSlices(int plane, std::size_t row, std::size_t col,
+                                device::CellFault fault);
+
+  // Program-verify telemetry summed over every plane/slice array.
+  [[nodiscard]] EngineWriteStats write_stats() const;
+
+  [[nodiscard]] bool guard_enabled() const { return params_.guard_column; }
+  // Integer downscale applied to the guard column's row sums so they fit a
+  // weight code (1 until row sums overflow). 0 before ProgramWeights.
+  [[nodiscard]] std::int64_t guard_scale() const { return guard_scale_; }
+
   void Age(TimeNs elapsed);
 
  private:
@@ -116,6 +158,10 @@ class MvmEngine {
   [[nodiscard]] std::int64_t QuantizeWeight(double w) const;
   [[nodiscard]] std::uint64_t QuantizeInput(double x) const;
 
+  // Fault-free residual spread estimate behind the guard threshold;
+  // `sum_x_codes` is the current input's total code mass.
+  [[nodiscard]] double GuardThreshold(double sum_x_codes) const;
+
   MvmEngineParams params_;
   std::size_t in_dim_;
   std::size_t out_dim_;
@@ -123,6 +169,8 @@ class MvmEngine {
   std::vector<Crossbar> positive_planes_;
   std::vector<Crossbar> negative_planes_;
   std::vector<std::int64_t> weight_codes_;  // in_dim x out_dim, row-major
+  std::vector<std::int64_t> guard_codes_;   // in_dim row sums / guard_scale_
+  std::int64_t guard_scale_ = 0;
   bool programmed_ = false;
 };
 

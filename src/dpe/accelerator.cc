@@ -6,8 +6,17 @@
 #include <utility>
 #include <variant>
 
+#include "common/contracts.h"
+#include "reliability/detection.h"
+
 namespace cim::dpe {
 namespace {
+
+// Seed salts separating a tile's remap streams from its MVM noise streams.
+// Replacement engines are keyed by (base_seed, generation) — never by spare
+// claim order — so recovery is deterministic at any thread count.
+constexpr std::uint64_t kRemapEngineSalt = 0x52454d31ULL;  // "REM1"
+constexpr std::uint64_t kRemapNoiseSalt = 0x52454d32ULL;   // "REM2"
 
 std::size_t OutDim(std::size_t in, std::size_t kernel, std::size_t stride,
                    std::size_t padding) {
@@ -21,6 +30,19 @@ double Activate(double v, nn::Activation act) {
     case nn::Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-v));
   }
   return v;
+}
+
+crossbar::MvmEngineParams MakeEngineParams(const DpeParams& params) {
+  crossbar::MvmEngineParams engine_params;
+  engine_params.array = params.array;
+  engine_params.weight_bits = params.weight_bits;
+  engine_params.input_bits = params.input_bits;
+  if (params.fault_tolerance.enabled &&
+      params.fault_tolerance.guard_column) {
+    engine_params.guard_column = true;
+    engine_params.guard_margin = params.fault_tolerance.guard_margin;
+  }
+  return engine_params;
 }
 
 }  // namespace
@@ -37,6 +59,13 @@ Expected<std::unique_ptr<DpeAccelerator>> DpeAccelerator::Create(
   // Root of every per-tile noise-stream family; drawn first so the tile
   // seeds do not depend on how the programming path consumes the rng.
   acc->root_seed_ = rng.NextU64();
+
+  if (params.fault_tolerance.enabled) {
+    auto monitor =
+        reliability::AgingMonitor::Create(params.fault_tolerance.aging);
+    if (!monitor.ok()) return monitor.status();
+    acc->monitor_.emplace(std::move(monitor.value()));
+  }
 
   for (const nn::Layer& layer : net.layers) {
     if (const auto* dense = std::get_if<nn::DenseLayer>(&layer)) {
@@ -71,6 +100,22 @@ Expected<std::unique_ptr<DpeAccelerator>> DpeAccelerator::Create(
         return s;
       }
       acc->mvm_layers_.push_back(std::move(mapped));
+    }
+  }
+  for (std::size_t i = 0; i < acc->mvm_layers_.size(); ++i) {
+    acc->mvm_layers_[i].layer_index = i;
+    acc->mvm_layers_[i].target = "dpe.layer" + std::to_string(i);
+  }
+
+  // Pre-provision the spares pool; ids continue after the active tiles.
+  if (acc->monitor_) {
+    const auto spare_base = static_cast<std::uint32_t>(acc->next_tile_index_);
+    for (std::size_t i = 0; i < params.fault_tolerance.spare_tiles; ++i) {
+      if (Status s = acc->monitor_->AddUnit(
+              spare_base + static_cast<std::uint32_t>(i), /*is_spare=*/true);
+          !s.ok()) {
+        return s;
+      }
     }
   }
 
@@ -114,14 +159,15 @@ Status DpeAccelerator::MapMatrix(std::span<const double> matrix,
                                  std::size_t in_dim, std::size_t out_dim,
                                  Rng& rng, MappedMvmLayer* mapped) {
   const std::size_t rows = params_.array.rows;
-  const std::size_t cols = params_.array.cols;
   mapped->in_dim = in_dim;
   mapped->out_dim = out_dim;
 
-  crossbar::MvmEngineParams engine_params;
-  engine_params.array = params_.array;
-  engine_params.weight_bits = params_.weight_bits;
-  engine_params.input_bits = params_.input_bits;
+  const crossbar::MvmEngineParams engine_params = MakeEngineParams(params_);
+  // The guard column occupies one physical column per engine, so guarded
+  // tiles carry one fewer logical output each.
+  const std::size_t cols =
+      engine_params.guard_column ? params_.array.cols - 1 : params_.array.cols;
+  CIM_REQUIRE(cols > 0, InvalidArgument("array too narrow for guard column"));
 
   for (std::size_t r0 = 0; r0 < in_dim; r0 += rows) {
     const std::size_t r_len = std::min(rows, in_dim - r0);
@@ -146,7 +192,16 @@ Status DpeAccelerator::MapMatrix(std::span<const double> matrix,
       program_cost_.operations += cost->operations;
       arrays_used_ += 2 * static_cast<std::size_t>(engine_params.slices());
       EngineTile tile{std::move(engine.value()), r0, c0, r_len, c_len,
-                      DeriveSeed(root_seed_, next_tile_index_)};
+                      DeriveSeed(root_seed_, next_tile_index_),
+                      /*base_seed=*/0, /*generation=*/0, /*unit_id=*/0,
+                      /*submatrix=*/{}, /*ft=*/nullptr};
+      tile.base_seed = tile.noise_seed;
+      if (ft_enabled()) {
+        tile.unit_id = static_cast<std::uint32_t>(next_tile_index_);
+        tile.submatrix = std::move(sub);  // kept for spare reprogramming
+        tile.ft = std::make_unique<TileFtState>();
+        if (Status s = monitor_->AddUnit(tile.unit_id); !s.ok()) return s;
+      }
       ++next_tile_index_;
       mapped->tiles.push_back(std::move(tile));
     }
@@ -154,15 +209,68 @@ Status DpeAccelerator::MapMatrix(std::span<const double> matrix,
   return Status::Ok();
 }
 
+Status DpeAccelerator::AttachFaultInjector(
+    reliability::FaultInjector* injector) {
+  if (injector == nullptr) return InvalidArgument("null fault injector");
+  for (MappedMvmLayer& layer : mvm_layers_) {
+    reliability::InjectionHooks hooks;
+    hooks.tiles = layer.tiles.size();
+    MappedMvmLayer* lp = &layer;
+    hooks.tile_dims =
+        [lp](std::size_t t) -> std::pair<std::size_t, std::size_t> {
+      const EngineTile& tile = lp->tiles.at(t);
+      return {tile.in, tile.out};
+    };
+    hooks.inject_cell = [lp](std::size_t t, std::size_t row, std::size_t col,
+                             int plane, bool stuck_on) {
+      lp->tiles.at(t).engine.InjectCellFaultAllSlices(
+          plane, row, col,
+          stuck_on ? device::CellFault::kStuckOn
+                   : device::CellFault::kStuckOff);
+    };
+    hooks.drift = [lp](std::size_t t, double drift_ns) {
+      lp->tiles.at(t).engine.Age(TimeNs(drift_ns));
+    };
+    if (ft_enabled()) {
+      // Tile death is a recovery-layer concept: without fault tolerance
+      // there is no dead flag to honour, so the hook stays unset and
+      // scenarios demanding it fail Arm() with a clear error.
+      DpeAccelerator* self = this;
+      hooks.kill_tile = [self, lp](std::size_t t) {
+        EngineTile& tile = lp->tiles.at(t);
+        tile.ft->dead.store(true, std::memory_order_release);
+        if (self->monitor_) {
+          CIM_CHECK(self->monitor_->RecordFailure(tile.unit_id).ok());
+        }
+      };
+    }
+    if (Status s = injector->RegisterHooks(layer.target, std::move(hooks));
+        !s.ok()) {
+      return s;
+    }
+  }
+  injector_ = injector;
+  return Status::Ok();
+}
+
 Expected<crossbar::MvmResult> DpeAccelerator::RunMvm(
     const MappedMvmLayer& mapped, std::span<const double> x,
-    std::uint64_t stream_offset) {
+    std::uint64_t stream_offset, std::uint64_t element_step,
+    ElementTrace* trace) {
   if (x.size() != mapped.in_dim) {
     return InvalidArgument("MVM input dimension mismatch");
   }
   const std::uint64_t call = mapped.committed_calls + stream_offset;
   const std::size_t tiles = mapped.tiles.size();
-  std::vector<std::optional<Expected<crossbar::MvmResult>>> partials(tiles);
+  const bool ft = ft_enabled();
+  const FaultToleranceParams& ftp = params_.fault_tolerance;
+
+  struct TilePartial {
+    std::optional<Expected<crossbar::MvmResult>> result;
+    reliability::GuardedPayload payload;  // sealed tile -> merge transfer
+    bool sealed = false;
+  };
+  std::vector<TilePartial> partials(tiles);
 
   const auto run_tile = [&](std::size_t t) {
     // MvmEngine::Compute with an external rng mutates no engine state, so
@@ -170,9 +278,35 @@ Expected<crossbar::MvmResult> DpeAccelerator::RunMvm(
     // safe to run on any thread; the draw sequence depends only on the
     // (tile, call) pair.
     auto& tile = const_cast<EngineTile&>(mapped.tiles[t]);
+    if (tile.ft != nullptr &&
+        tile.ft->dead.load(std::memory_order_acquire)) {
+      partials[t].result.emplace(Unavailable("engine tile is dead"));
+      return;
+    }
     Rng noise(DeriveSeed(tile.noise_seed, call));
-    partials[t].emplace(
-        tile.engine.Compute(x.subspan(tile.row_offset, tile.in), &noise));
+    auto computed =
+        tile.engine.Compute(x.subspan(tile.row_offset, tile.in), &noise);
+    if (computed.ok()) {
+      if (ft && ftp.checksums) {
+        // Seal models the tile -> merge transfer; corruption injected
+        // below lands "in flight" and is caught at the merge boundary.
+        partials[t].payload =
+            reliability::GuardedPayload::Seal(std::move(computed->y));
+        partials[t].sealed = true;
+      }
+      if (injector_ != nullptr) {
+        // Consulted exactly once per (tile, call) — on the first attempt
+        // only: a transient is gone by the time a retry re-runs the tile.
+        const double perturb = injector_->TransientPerturbation(
+            mapped.target, t, element_step, call);
+        if (perturb != 0.0) {
+          auto& values =
+              partials[t].sealed ? partials[t].payload.values : computed->y;
+          for (double& v : values) v *= (1.0 + perturb);
+        }
+      }
+    }
+    partials[t].result.emplace(std::move(computed));
   };
 
   if (pool_ != nullptr && tiles > 1 && !ThreadPool::InParallelRegion()) {
@@ -184,29 +318,104 @@ Expected<crossbar::MvmResult> DpeAccelerator::RunMvm(
   // Deterministic merge in tile order: partial sums, energy and operation
   // counts accumulate in the same order the serial path used, and the MVM
   // latency is the slowest tile (they fire concurrently in hardware).
+  // This is the tile boundary of §V.A: each partial is checked (guard
+  // column verdict + transfer checksum) before it may touch the merged
+  // output, and retries re-run the tile serially right here.
   crossbar::MvmResult merged;
   merged.y.assign(mapped.out_dim, 0.0);
   double max_tile_latency = 0.0;
+  double retry_latency = 0.0;
   for (std::size_t t = 0; t < tiles; ++t) {
-    Expected<crossbar::MvmResult>& partial = *partials[t];
-    if (!partial.ok()) return partial.status();
-    const EngineTile& tile = mapped.tiles[t];
-    for (std::size_t c = 0; c < tile.out; ++c) {
-      merged.y[tile.col_offset + c] += partial->y[c];
+    Expected<crossbar::MvmResult>& partial = *partials[t].result;
+    auto& tile = const_cast<EngineTile&>(mapped.tiles[t]);
+
+    if (!ft) {
+      if (!partial.ok()) return partial.status();
+      for (std::size_t c = 0; c < tile.out; ++c) {
+        merged.y[tile.col_offset + c] += partial->y[c];
+      }
+      merged.cost.energy_pj += partial->cost.energy_pj;
+      merged.cost.operations += partial->cost.operations;
+      max_tile_latency = std::max(max_tile_latency, partial->cost.latency_ns);
+      continue;
     }
-    merged.cost.energy_pj += partial->cost.energy_pj;
-    merged.cost.operations += partial->cost.operations;
-    max_tile_latency = std::max(max_tile_latency, partial->cost.latency_ns);
+
+    const auto note_guard = [&](const crossbar::MvmResult& r) {
+      if (!r.guard_checked) return;
+      tile.ft->guard_checks.fetch_add(1, std::memory_order_relaxed);
+      if (!r.guard_ok) {
+        tile.ft->guard_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+
+    bool tile_ok = false;
+    bool dead = false;
+    if (partial.ok()) {
+      note_guard(*partial);
+      const bool guard_bad = partial->guard_checked && !partial->guard_ok;
+      const bool transfer_bad =
+          partials[t].sealed && !partials[t].payload.Verify().ok();
+      tile_ok = !guard_bad && !transfer_bad;
+      merged.cost.energy_pj += partial->cost.energy_pj;
+      merged.cost.operations += partial->cost.operations;
+      max_tile_latency = std::max(max_tile_latency, partial->cost.latency_ns);
+    } else if (partial.status().code() == ErrorCode::kUnavailable) {
+      dead = true;  // dead tile: detect, contribute zeros, flag for remap
+    } else {
+      return partial.status();
+    }
+
+    if (!tile_ok) ++trace->report.detected;
+
+    // Retry on the same engine with an attempt-salted noise stream. A
+    // transient (gone on re-run) passes on the first retry; stuck cells
+    // keep tripping the guard and fall through to degrade.
+    if (!tile_ok && !dead) {
+      for (int a = 1; a <= ftp.max_retries && !tile_ok; ++a) {
+        ++trace->report.retried;
+        Rng noise(DeriveSeed(DeriveSeed(tile.noise_seed, call),
+                             static_cast<std::uint64_t>(a)));
+        auto retry =
+            tile.engine.Compute(x.subspan(tile.row_offset, tile.in), &noise);
+        if (!retry.ok()) return retry.status();
+        note_guard(*retry);
+        merged.cost.energy_pj += retry->cost.energy_pj;
+        merged.cost.operations += retry->cost.operations;
+        retry_latency += retry->cost.latency_ns;  // retries serialize
+        if (!(retry->guard_checked && !retry->guard_ok)) {
+          partial = std::move(retry);
+          partials[t].sealed = false;  // re-transfer is clean
+          tile_ok = true;
+        }
+      }
+    }
+
+    if (tile_ok || (!dead && partial.ok())) {
+      // Merge the (possibly degraded) partial; a dead tile contributes
+      // zeros instead of poisoning the element.
+      const std::vector<double>& values =
+          partials[t].sealed ? partials[t].payload.values : partial->y;
+      for (std::size_t c = 0; c < tile.out; ++c) {
+        merged.y[tile.col_offset + c] += values[c];
+      }
+    }
+    if (!tile_ok) {
+      ++trace->report.degraded;
+      tile.ft->needs_remap.store(true, std::memory_order_release);
+      trace->flagged.emplace_back(mapped.layer_index, t);
+    }
   }
-  merged.cost.latency_ns = max_tile_latency;
+  merged.cost.latency_ns = max_tile_latency + retry_latency;
   return merged;
 }
 
 Expected<InferResult> DpeAccelerator::RunElement(
-    const nn::Tensor& input, std::uint64_t element_index) {
+    const nn::Tensor& input, std::uint64_t element_index,
+    ElementTrace* trace) {
   nn::Tensor current = input;
   std::size_t mvm_index = 0;
   CostReport cost;
+  const std::uint64_t element_step = committed_elements_ + element_index;
 
   const auto account_activation = [&](std::size_t elements) {
     cost.energy_pj +=
@@ -227,7 +436,8 @@ Expected<InferResult> DpeAccelerator::RunElement(
       const MappedMvmLayer& mapped = mvm_layers_[mvm_index++];
       account_buffer(mapped.in_dim + mapped.out_dim);
       auto mvm = RunMvm(mapped, current.vec(),
-                        element_index * mapped.calls_per_inference);
+                        element_index * mapped.calls_per_inference,
+                        element_step, trace);
       if (!mvm.ok()) return mvm.status();
       cost.energy_pj += mvm->cost.energy_pj;
       cost.operations += mvm->cost.operations;
@@ -276,7 +486,8 @@ Expected<InferResult> DpeAccelerator::RunElement(
           }
           auto mvm = RunMvm(mapped, column,
                             element_index * mapped.calls_per_inference +
-                                pixels);
+                                pixels,
+                            element_step, trace);
           if (!mvm.ok()) return mvm.status();
           cost.energy_pj += mvm->cost.energy_pj;
           cost.operations += mvm->cost.operations;
@@ -319,7 +530,7 @@ Expected<InferResult> DpeAccelerator::RunElement(
       current = std::move(out);
     }
   }
-  return InferResult{std::move(current), cost};
+  return InferResult{std::move(current), cost, FaultReport{}};
 }
 
 void DpeAccelerator::CommitCalls(std::uint64_t elements) {
@@ -328,12 +539,135 @@ void DpeAccelerator::CommitCalls(std::uint64_t elements) {
   }
 }
 
+Status DpeAccelerator::RemapTile(EngineTile& tile,
+                                 std::uint32_t spare_unit) {
+  ++tile.generation;
+  Rng engine_rng(DeriveSeed(DeriveSeed(tile.base_seed, kRemapEngineSalt),
+                            tile.generation));
+  auto engine = crossbar::MvmEngine::Create(MakeEngineParams(params_),
+                                            tile.in, tile.out, engine_rng);
+  if (!engine.ok()) return engine.status();
+  auto cost = engine->ProgramWeights(tile.submatrix);
+  if (!cost.ok()) return cost.status();
+  // Reprogramming a spare rides the slow write path (§VI asymmetry) — the
+  // reason detection + retry runs before remap is even considered.
+  recovery_cost_.energy_pj += cost->energy_pj;
+  recovery_cost_.latency_ns += cost->latency_ns;
+  recovery_cost_.operations += cost->operations;
+  tile.engine = std::move(engine.value());
+  tile.noise_seed = DeriveSeed(DeriveSeed(tile.base_seed, kRemapNoiseSalt),
+                               tile.generation);
+  tile.unit_id = spare_unit;
+  // The fresh engine's write counters restart at the programming writes
+  // just spent; re-baseline the drain marks so they feed the new unit.
+  tile.ft->drained_write_attempts = 0;
+  tile.ft->drained_verify_failures = 0;
+  tile.ft->dead.store(false, std::memory_order_release);
+  tile.ft->needs_remap.store(false, std::memory_order_release);
+  return Status::Ok();
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+DpeAccelerator::RecoverAtBoundary() {
+  std::vector<std::pair<std::size_t, std::size_t>> remapped;
+  if (!ft_enabled()) return remapped;
+
+  // Drain write/verify and guard-check telemetry into the aging monitor.
+  // Guard-check failures feed the verify-failure channel: a tile whose
+  // guard keeps tripping is failing its read-out contract.
+  if (monitor_) {
+    for (MappedMvmLayer& layer : mvm_layers_) {
+      for (EngineTile& tile : layer.tiles) {
+        const crossbar::EngineWriteStats stats = tile.engine.write_stats();
+        const std::uint64_t checks =
+            tile.ft->guard_checks.load(std::memory_order_relaxed);
+        const std::uint64_t failures =
+            tile.ft->guard_failures.load(std::memory_order_relaxed);
+        const std::uint64_t d_writes =
+            stats.attempts - tile.ft->drained_write_attempts;
+        const std::uint64_t d_wfail =
+            stats.verify_failures - tile.ft->drained_verify_failures;
+        const std::uint64_t d_checks = checks - tile.ft->drained_guard_checks;
+        const std::uint64_t d_gfail =
+            failures - tile.ft->drained_guard_failures;
+        if (d_writes != 0 || d_checks != 0) {
+          CIM_CHECK(monitor_
+                        ->RecordWrites(tile.unit_id, d_writes,
+                                       d_writes + d_checks, d_wfail + d_gfail)
+                        .ok());
+        }
+        tile.ft->drained_write_attempts = stats.attempts;
+        tile.ft->drained_verify_failures = stats.verify_failures;
+        tile.ft->drained_guard_checks = checks;
+        tile.ft->drained_guard_failures = failures;
+      }
+    }
+    if (params_.fault_tolerance.proactive_retirement) {
+      const reliability::MonitorReport report = monitor_->Evaluate();
+      for (std::uint32_t unit : report.newly_retired) {
+        for (MappedMvmLayer& layer : mvm_layers_) {
+          for (EngineTile& tile : layer.tiles) {
+            if (tile.unit_id == unit) {
+              tile.ft->needs_remap.store(true, std::memory_order_release);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Remap flagged tiles onto spares in deterministic (layer, tile) order;
+  // with the pool exhausted the tile stays flagged and keeps degrading —
+  // the graceful floor of the recovery ladder.
+  for (std::size_t li = 0; li < mvm_layers_.size(); ++li) {
+    MappedMvmLayer& layer = mvm_layers_[li];
+    for (std::size_t t = 0; t < layer.tiles.size(); ++t) {
+      EngineTile& tile = layer.tiles[t];
+      if (!tile.ft->needs_remap.load(std::memory_order_acquire) &&
+          !tile.ft->dead.load(std::memory_order_acquire)) {
+        continue;
+      }
+      if (!monitor_ || monitor_->available_spares() == 0) continue;
+      auto spare = monitor_->ClaimSpare();
+      if (!spare.ok()) continue;
+      if (Status s = RemapTile(tile, spare.value()); !s.ok()) {
+        return remapped;  // keep already-done remaps; tile stays degraded
+      }
+      remapped.emplace_back(li, t);
+      ++recovery_stats_.remapped;
+    }
+  }
+  return remapped;
+}
+
 Expected<InferResult> DpeAccelerator::Infer(const nn::Tensor& input) {
   if (input.shape() != net_.input_shape) {
     return InvalidArgument("input shape mismatch");
   }
-  auto result = RunElement(input, 0);
-  if (result.ok()) CommitCalls(1);
+  if (injector_ != nullptr && injector_->armed()) {
+    injector_->AdvanceTo(committed_elements_);
+  }
+  ElementTrace trace;
+  auto result = RunElement(input, 0, &trace);
+  if (result.ok()) {
+    if (ft_enabled()) {
+      const auto remapped = RecoverAtBoundary();
+      for (const auto& flagged : trace.flagged) {
+        if (std::find(remapped.begin(), remapped.end(), flagged) !=
+            remapped.end()) {
+          ++trace.report.remapped;
+        }
+      }
+    }
+    result->fault_report = trace.report;
+    // remapped is tallied by RecoverAtBoundary itself (one count per remap
+    // operation; per-element attribution can legitimately exceed it).
+    recovery_stats_.detected += trace.report.detected;
+    recovery_stats_.retried += trace.report.retried;
+    recovery_stats_.degraded += trace.report.degraded;
+    CommitCalls(1);
+    ++committed_elements_;
+  }
   return result;
 }
 
@@ -348,17 +682,53 @@ Expected<std::vector<InferResult>> DpeAccelerator::InferBatch(
 
   const std::size_t batch = inputs.size();
   std::vector<std::optional<Expected<InferResult>>> elements(batch);
-  const auto run_element = [&](std::size_t b) {
-    elements[b].emplace(RunElement(inputs[b], b));
-  };
-  // Batch elements are the outer parallel axis; inside a parallel region
-  // RunMvm automatically takes its serial path (no nesting). With one
-  // element the batch axis degenerates and the tile axis parallelizes
-  // instead.
-  if (pool_ != nullptr && batch > 1 && !ThreadPool::InParallelRegion()) {
-    pool_->ParallelFor(batch, run_element);
-  } else {
-    for (std::size_t b = 0; b < batch; ++b) run_element(b);
+  std::vector<ElementTrace> traces(batch);
+
+  // Structural faults fire only between waves: the batch is split at every
+  // scheduled fault step, so tile state is constant while any element is in
+  // flight and recovery decisions cannot race with compute. Without an
+  // armed injector this degenerates to one wave — the original batch loop.
+  const std::uint64_t base = committed_elements_;
+  std::vector<std::uint64_t> boundaries;
+  if (injector_ != nullptr && injector_->armed()) {
+    boundaries = injector_->StructuralStepsIn(base, base + batch);
+  }
+  boundaries.push_back(base + batch);
+
+  std::uint64_t wave_start = base;
+  for (std::uint64_t wave_end : boundaries) {
+    if (injector_ != nullptr && injector_->armed()) {
+      injector_->AdvanceTo(wave_start);
+    }
+    const auto lo = static_cast<std::size_t>(wave_start - base);
+    const auto hi = static_cast<std::size_t>(wave_end - base);
+    const auto run_element = [&](std::size_t i) {
+      const std::size_t b = lo + i;
+      elements[b].emplace(RunElement(inputs[b], b, &traces[b]));
+    };
+    // Batch elements are the outer parallel axis; inside a parallel region
+    // RunMvm automatically takes its serial path (no nesting). With one
+    // element the batch axis degenerates and the tile axis parallelizes
+    // instead.
+    if (pool_ != nullptr && hi - lo > 1 && !ThreadPool::InParallelRegion()) {
+      pool_->ParallelFor(hi - lo, run_element);
+    } else {
+      for (std::size_t i = 0; i < hi - lo; ++i) run_element(i);
+    }
+    if (ft_enabled()) {
+      const auto remapped = RecoverAtBoundary();
+      if (!remapped.empty()) {
+        for (std::size_t b = lo; b < hi; ++b) {
+          for (const auto& flagged : traces[b].flagged) {
+            if (std::find(remapped.begin(), remapped.end(), flagged) !=
+                remapped.end()) {
+              ++traces[b].report.remapped;
+            }
+          }
+        }
+      }
+    }
+    wave_start = wave_end;
   }
 
   std::vector<InferResult> results;
@@ -367,21 +737,48 @@ Expected<std::vector<InferResult>> DpeAccelerator::InferBatch(
     Expected<InferResult>& element = *elements[b];
     if (!element.ok()) return element.status();
     results.push_back(std::move(element.value()));
+    results.back().fault_report = traces[b].report;
+    recovery_stats_.detected += traces[b].report.detected;
+    recovery_stats_.retried += traces[b].report.retried;
+    recovery_stats_.degraded += traces[b].report.degraded;
   }
   CommitCalls(static_cast<std::uint64_t>(batch));
+  committed_elements_ += static_cast<std::uint64_t>(batch);
   return results;
 }
 
+std::size_t DpeAccelerator::spares_available() const {
+  return monitor_ ? monitor_->available_spares() : 0;
+}
+
 Status DpeAccelerator::InjectFault(std::size_t layer_index, std::size_t row,
-                                   std::size_t col,
-                                   device::CellFault fault) {
+                                   std::size_t col, device::CellFault fault,
+                                   int plane, int slice) {
   if (layer_index >= mvm_layers_.size()) return OutOfRange("layer index");
-  if (mvm_layers_[layer_index].tiles.empty()) {
-    return FailedPrecondition("layer has no engine tiles");
+  if (plane != 0 && plane != 1) return InvalidArgument("plane must be 0 or 1");
+  if (slice != kAllSlices && (slice < 0 || slice >= params_.slices())) {
+    return OutOfRange("slice index");
   }
-  mvm_layers_[layer_index].tiles.front().engine.InjectCellFault(
-      /*plane=*/0, /*slice=*/0, row, col, fault);
-  return Status::Ok();
+  MappedMvmLayer& layer = mvm_layers_[layer_index];
+  if (row >= layer.in_dim || col >= layer.out_dim) {
+    return OutOfRange("cell coordinate outside the layer's weight matrix");
+  }
+  // Route the layer-global coordinate to the engine tile that owns it.
+  for (EngineTile& tile : layer.tiles) {
+    if (row < tile.row_offset || row >= tile.row_offset + tile.in ||
+        col < tile.col_offset || col >= tile.col_offset + tile.out) {
+      continue;
+    }
+    const std::size_t r = row - tile.row_offset;
+    const std::size_t c = col - tile.col_offset;
+    if (slice == kAllSlices) {
+      tile.engine.InjectCellFaultAllSlices(plane, r, c, fault);
+    } else {
+      tile.engine.InjectCellFault(plane, slice, r, c, fault);
+    }
+    return Status::Ok();
+  }
+  return NotFound("no engine tile owns the requested cell");
 }
 
 }  // namespace cim::dpe

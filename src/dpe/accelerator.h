@@ -12,10 +12,27 @@
 // sums / cost reports are merged in fixed tile order after each parallel
 // region — so outputs and costs are bit-identical at any thread count, and
 // InferBatch(N inputs) is bit-identical to N sequential Infer calls.
+//
+// Fault tolerance (§V.A, params.fault_tolerance): each tile MVM is checked
+// at the tile boundary — an ABFT guard column inside the engine plus a
+// checksum over the partial-sum transfer. A detected-bad tile is retried
+// (fresh noise stream; transients do not recur), and a persistently bad or
+// dead tile degrades the element gracefully: its partial contribution is
+// flagged in InferResult::fault_report instead of poisoning the batch. At
+// wave boundaries — the single-threaded gaps between parallel regions —
+// flagged tiles are reprogrammed onto pre-provisioned spares and the aging
+// monitor retires worn tiles proactively. Structural fault injection
+// (AttachFaultInjector) fires at the same boundaries, so recovery decisions
+// stay a pure function of (seed, scenario, batch shape): unaffected
+// elements remain bit-identical to a fault-free run at every thread count.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -24,14 +41,31 @@
 #include "crossbar/mvm_engine.h"
 #include "dpe/params.h"
 #include "nn/network.h"
+#include "reliability/aging_monitor.h"
+#include "reliability/fault_injector.h"
 
 namespace cim::dpe {
+
+// Per-element recovery outcome (§V.A): how many tile MVMs were flagged at a
+// boundary, how many re-executions ran, how many of the element's flagged
+// tiles were subsequently remapped onto spares, and how many tile results
+// were accepted degraded (retries exhausted, or a dead tile contributing
+// zeros). clean() elements are bit-identical to a fault-free run.
+struct FaultReport {
+  std::uint64_t detected = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t remapped = 0;
+  std::uint64_t degraded = 0;
+
+  [[nodiscard]] bool clean() const { return detected == 0 && degraded == 0; }
+};
 
 // One inference's output together with its fully accounted cost — the same
 // pairing crossbar::MvmResult uses one layer down.
 struct InferResult {
   nn::Tensor output;
   CostReport cost;
+  FaultReport fault_report;
 };
 
 class DpeAccelerator {
@@ -46,7 +80,9 @@ class DpeAccelerator {
 
   // Batched inference: batch elements run in parallel across the pool.
   // Outputs and per-element costs are bit-identical to calling Infer once
-  // per input in order, at any thread count.
+  // per input in order, at any thread count. With an armed fault injector
+  // the batch is split into waves at structural fault steps; elements
+  // before the first fired fault stay bit-identical to a fault-free run.
   [[nodiscard]] Expected<std::vector<InferResult>> InferBatch(
       std::span<const nn::Tensor> inputs);
 
@@ -57,12 +93,52 @@ class DpeAccelerator {
   // The pool executing tile/batch work; null when worker_threads == 1.
   [[nodiscard]] const ThreadPool* thread_pool() const { return pool_.get(); }
 
-  // Fault-injection hook: flip one cell in the first engine of layer
-  // `layer_index` (reliability experiments).
+  // Register this accelerator's layers as injection targets named
+  // "dpe.layer<k>" (k = mvm-layer index). The injector must outlive the
+  // accelerator. Call injector->Arm() afterwards; structural specs then
+  // fire at wave boundaries keyed on the global element step.
+  Status AttachFaultInjector(reliability::FaultInjector* injector);
+
+  // Fault-injection hook: flip the logical cell (row, col) — coordinates
+  // global to the layer's weight matrix — in the owning engine tile.
+  // `plane` selects the differential plane; `slice` a single bit-slice
+  // array, or kAllSlices for every slice of the logical cell (a physical
+  // crosspoint defect).
+  static constexpr int kAllSlices = -1;
   Status InjectFault(std::size_t layer_index, std::size_t row,
-                     std::size_t col, device::CellFault fault);
+                     std::size_t col, device::CellFault fault, int plane = 0,
+                     int slice = kAllSlices);
+
+  // Aggregate recovery activity since Create (all elements, all batches).
+  [[nodiscard]] const FaultReport& recovery_stats() const {
+    return recovery_stats_;
+  }
+  // Reprogramming cost of every tile->spare remap so far; the §VI write
+  // asymmetry is what makes remap expensive and retry worth attempting.
+  [[nodiscard]] const CostReport& recovery_cost() const {
+    return recovery_cost_;
+  }
+  [[nodiscard]] std::size_t spares_available() const;
+  // Aging-monitor view (null when fault tolerance is disabled).
+  [[nodiscard]] const reliability::AgingMonitor* aging_monitor() const {
+    return monitor_ ? &*monitor_ : nullptr;
+  }
 
  private:
+  // Mutable per-tile recovery state, shared across worker threads; heap-
+  // allocated so EngineTile stays movable. Allocated only when fault
+  // tolerance is enabled.
+  struct TileFtState {
+    std::atomic<bool> dead{false};
+    std::atomic<bool> needs_remap{false};
+    std::atomic<std::uint64_t> guard_checks{0};
+    std::atomic<std::uint64_t> guard_failures{0};
+    // Telemetry high-water marks from the last boundary drain.
+    std::uint64_t drained_write_attempts = 0;
+    std::uint64_t drained_verify_failures = 0;
+    std::uint64_t drained_guard_checks = 0;
+    std::uint64_t drained_guard_failures = 0;
+  };
   struct EngineTile {
     crossbar::MvmEngine engine;
     std::size_t row_offset;  // input slice start
@@ -73,17 +149,37 @@ class DpeAccelerator {
     // index). Each MVM invocation k on this tile draws from
     // Rng(DeriveSeed(noise_seed, k)).
     std::uint64_t noise_seed = 0;
+    // Fault-tolerance state (engaged only when fault_tolerance.enabled).
+    // base_seed is the stable family root; after a remap the replacement
+    // engine reseeds from (base_seed, generation), never from spare claim
+    // order, so recovery stays deterministic.
+    std::uint64_t base_seed = 0;
+    std::uint32_t generation = 0;
+    std::uint32_t unit_id = 0;  // aging-monitor unit
+    std::vector<double> submatrix;  // retained for remap reprogramming
+    std::unique_ptr<TileFtState> ft;
   };
   struct MappedMvmLayer {
     std::vector<EngineTile> tiles;
     std::size_t in_dim;
     std::size_t out_dim;
+    // Injection-target name ("dpe.layer<k>") and index, precomputed so the
+    // hot path never formats strings.
+    std::string target;
+    std::size_t layer_index = 0;
     // MVM invocations one inference makes on this layer (1 for dense,
     // oh*ow pixels for conv) — the stride between batch elements in the
     // per-tile call numbering.
     std::uint64_t calls_per_inference = 1;
     // Calls already consumed by completed Infer/InferBatch requests.
     std::uint64_t committed_calls = 0;
+  };
+  // Per-element recovery trace: the report plus which (layer, tile) pairs
+  // this element flagged for remap — used to attribute boundary remaps
+  // back to the elements whose detections triggered them.
+  struct ElementTrace {
+    FaultReport report;
+    std::vector<std::pair<std::size_t, std::size_t>> flagged;
   };
 
   DpeAccelerator(const DpeParams& params, const nn::Network& net);
@@ -97,19 +193,37 @@ class DpeAccelerator {
   // applied) plus the MVM's cost (latency = slowest tile, the tiles fire
   // concurrently in hardware). Tiles execute in parallel on the pool when
   // called outside an enclosing parallel region; the merge is serial in
-  // tile order either way, so results never depend on scheduling.
+  // tile order either way — which is also where tile-boundary detection
+  // and retry run — so results never depend on scheduling. `element_step`
+  // is the global batch-element index (transient-fault keying); `trace`
+  // collects recovery counts (may be null iff fault tolerance is off).
   Expected<crossbar::MvmResult> RunMvm(const MappedMvmLayer& mapped,
                                        std::span<const double> x,
-                                       std::uint64_t stream_offset);
+                                       std::uint64_t stream_offset,
+                                       std::uint64_t element_step,
+                                       ElementTrace* trace);
 
   // Whole-network forward pass for one batch element. `element_index`
   // offsets every layer's noise-stream numbering by
   // element_index * calls_per_inference; callers commit the consumed calls
   // afterwards via CommitCalls.
   Expected<InferResult> RunElement(const nn::Tensor& input,
-                                   std::uint64_t element_index);
+                                   std::uint64_t element_index,
+                                   ElementTrace* trace);
 
   void CommitCalls(std::uint64_t elements);
+
+  // Single-threaded wave-boundary recovery: drain write/guard telemetry
+  // into the aging monitor, evaluate proactive retirement, and reprogram
+  // flagged tiles onto spares. Returns the (layer, tile) pairs remapped.
+  std::vector<std::pair<std::size_t, std::size_t>> RecoverAtBoundary();
+
+  // Reprogram one tile onto a fresh engine (spare claim already done).
+  Status RemapTile(EngineTile& tile, std::uint32_t spare_unit);
+
+  [[nodiscard]] bool ft_enabled() const {
+    return params_.fault_tolerance.enabled;
+  }
 
   DpeParams params_;
   nn::Network net_;
@@ -119,6 +233,13 @@ class DpeAccelerator {
   std::uint64_t root_seed_ = 0;
   std::uint64_t next_tile_index_ = 0;  // used during Create only
   std::unique_ptr<ThreadPool> pool_;
+
+  // Fault-tolerance machinery (engaged when params_.fault_tolerance.enabled).
+  reliability::FaultInjector* injector_ = nullptr;  // not owned
+  std::optional<reliability::AgingMonitor> monitor_;
+  std::uint64_t committed_elements_ = 0;  // global element step counter
+  FaultReport recovery_stats_;
+  CostReport recovery_cost_;
 };
 
 }  // namespace cim::dpe

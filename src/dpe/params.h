@@ -10,8 +10,43 @@
 
 #include "common/status.h"
 #include "crossbar/crossbar.h"
+#include "reliability/aging_monitor.h"
 
 namespace cim::dpe {
+
+// Fault tolerance for the behavioural accelerator (§V.A): detection at
+// engine-tile boundaries, retry/remap/degrade recovery, and a proactive
+// aging loop. Off by default — the fault-free fast path is byte-for-byte
+// the pre-existing runtime.
+struct FaultToleranceParams {
+  bool enabled = false;
+  // Spare engine tiles pre-provisioned at Create; a detected-bad or retired
+  // tile is reprogrammed onto one at the next wave boundary. 0 = recovery
+  // degrades only (retry still runs).
+  std::size_t spare_tiles = 0;
+  // Re-executions of a detected-bad tile MVM before the element degrades.
+  int max_retries = 1;
+  // ABFT guard column per engine (§V.A "extra bits on data"): one extra
+  // physical column holds scaled row sums; every MVM checks the sensed
+  // guard output against the sum of the logical outputs.
+  bool guard_column = true;
+  double guard_margin = 1.5;  // see MvmEngineParams::guard_margin
+  // Checksum the tile partial sums across the tile -> merge transfer
+  // (catches transient in-flight corruption the in-array guard cannot).
+  bool checksums = true;
+  // Feed write/verify telemetry into the aging monitor and remap tiles it
+  // retires before they fail.
+  bool proactive_retirement = true;
+  reliability::AgingParams aging;
+
+  [[nodiscard]] Status Validate() const {
+    if (max_retries < 0) return InvalidArgument("max_retries must be >= 0");
+    if (guard_margin <= 0.0) {
+      return InvalidArgument("guard_margin must be positive");
+    }
+    return aging.Validate();
+  }
+};
 
 struct DpeParams {
   crossbar::CrossbarParams array;  // 128x128, 2-bit cells, 8-bit shared ADC
@@ -47,6 +82,9 @@ struct DpeParams {
   // (see DESIGN.md § Threading and determinism).
   std::size_t worker_threads = 0;
 
+  // §V.A fault tolerance (disabled by default).
+  FaultToleranceParams fault_tolerance;
+
   // Physical capacity used by the multi-board scaling model.
   std::size_t arrays_per_board = 8192;
   // Board-to-board interconnect.
@@ -77,6 +115,7 @@ struct DpeParams {
     if (arrays_per_board == 0) {
       return InvalidArgument("arrays_per_board == 0");
     }
+    if (Status s = fault_tolerance.Validate(); !s.ok()) return s;
     return array.Validate();
   }
 

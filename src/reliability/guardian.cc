@@ -117,6 +117,10 @@ void StreamGuardian::Poll() {
     ++stats_.retried;
     std::vector<double> payload = item.payload;
     held_.push_back(std::move(item));
+    // Best-effort re-injection: the enqueue happens at the (healthy) source
+    // node, and a loss downstream is what the next Poll() detects and
+    // retries anyway, so a failure here must not abort the recovery loop.
+    // cimlint: allow-discard
     (void)fabric_->InjectData(stream_id_, std::move(payload));
   }
 }

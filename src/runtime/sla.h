@@ -21,6 +21,10 @@ enum class SlaAction : std::uint8_t {
   kNone = 0,
   kScaleUp,    // violating: add a worker / replica for this stream
   kScaleDown,  // far under target: release capacity
+  // Quality SLA violated: too many degraded results (fault-recovery
+  // fell back to degraded tiles) — move the stream off the failing
+  // hardware rather than adding more of it.
+  kRelocate,
 };
 
 struct SlaTarget {
@@ -29,6 +33,10 @@ struct SlaTarget {
   // release_fraction * target.
   double release_fraction = 0.5;
   int min_samples = 8;
+  // Quality floor: fraction of results in a window that may be degraded
+  // (carried a non-clean fault report) before the stream demands
+  // relocation. 1.0 disables quality enforcement.
+  double max_degraded_fraction = 1.0;
 };
 
 struct SlaDecision {
@@ -36,6 +44,7 @@ struct SlaDecision {
   SlaAction action = SlaAction::kNone;
   double observed_ns = 0.0;
   double target_ns = 0.0;
+  double degraded_fraction = 0.0;
 };
 
 class SlaController {
@@ -47,6 +56,12 @@ class SlaController {
     if (target.release_fraction <= 0.0 || target.release_fraction >= 1.0) {
       return InvalidArgument("release_fraction must be in (0, 1)");
     }
+    // 0.0 is a strict floor (any degraded result relocates); 1.0 disables
+    // quality enforcement entirely.
+    if (target.max_degraded_fraction < 0.0 ||
+        target.max_degraded_fraction > 1.0) {
+      return InvalidArgument("max_degraded_fraction must be in [0, 1]");
+    }
     targets_[stream] = target;
     return Status::Ok();
   }
@@ -55,29 +70,63 @@ class SlaController {
     windows_[stream].Add(latency_ns);
   }
 
+  // Result-quality feed (§V.A degradation accounting): call once per
+  // result with whether fault recovery degraded it (a non-clean
+  // FaultReport). Latency and quality are independent windows — a stream
+  // can be fast *because* its tiles degraded, which is exactly the case
+  // the quality floor exists to catch.
+  void ObserveQuality(StreamId stream, bool degraded) {
+    QualityWindow& window = quality_[stream];
+    ++window.total;
+    if (degraded) ++window.degraded;
+  }
+
   // Evaluate every stream against its target over the current window,
-  // returning the actions to take; the window resets after evaluation.
+  // returning the actions to take; the windows reset after evaluation.
+  // A quality violation (degraded fraction above the floor) dominates the
+  // latency verdict: adding capacity on faulty hardware just produces
+  // degraded results faster.
   [[nodiscard]] std::vector<SlaDecision> Evaluate() {
     std::vector<SlaDecision> decisions;
     for (auto& [stream, target] : targets_) {
-      auto window_it = windows_.find(stream);
-      if (window_it == windows_.end() ||
-          window_it->second.count() <
-              static_cast<std::uint64_t>(target.min_samples)) {
-        continue;
-      }
       SlaDecision d;
       d.stream = stream;
-      d.observed_ns = window_it->second.mean();
       d.target_ns = target.target_latency_ns;
-      if (d.observed_ns > target.target_latency_ns) {
-        d.action = SlaAction::kScaleUp;
-        ++violations_;
-      } else if (d.observed_ns <
-                 target.release_fraction * target.target_latency_ns) {
-        d.action = SlaAction::kScaleDown;
+      bool have_latency = false;
+
+      auto window_it = windows_.find(stream);
+      if (window_it != windows_.end() &&
+          window_it->second.count() >=
+              static_cast<std::uint64_t>(target.min_samples)) {
+        have_latency = true;
+        d.observed_ns = window_it->second.mean();
+        if (d.observed_ns > target.target_latency_ns) {
+          d.action = SlaAction::kScaleUp;
+        } else if (d.observed_ns <
+                   target.release_fraction * target.target_latency_ns) {
+          d.action = SlaAction::kScaleDown;
+        }
+        window_it->second.Reset();
       }
-      window_it->second.Reset();
+
+      auto quality_it = quality_.find(stream);
+      if (quality_it != quality_.end() &&
+          quality_it->second.total >=
+              static_cast<std::uint64_t>(target.min_samples)) {
+        d.degraded_fraction =
+            static_cast<double>(quality_it->second.degraded) /
+            static_cast<double>(quality_it->second.total);
+        if (d.degraded_fraction > target.max_degraded_fraction) {
+          d.action = SlaAction::kRelocate;
+        }
+        quality_it->second = QualityWindow{};
+      }
+
+      if (d.action == SlaAction::kScaleUp ||
+          d.action == SlaAction::kRelocate) {
+        ++violations_;
+      }
+      if (!have_latency && d.action == SlaAction::kNone) continue;
       if (d.action != SlaAction::kNone) decisions.push_back(d);
     }
     return decisions;
@@ -86,8 +135,14 @@ class SlaController {
   [[nodiscard]] std::uint64_t violations() const { return violations_; }
 
  private:
+  struct QualityWindow {
+    std::uint64_t total = 0;
+    std::uint64_t degraded = 0;
+  };
+
   std::map<StreamId, SlaTarget> targets_;
   std::map<StreamId, RunningStat> windows_;
+  std::map<StreamId, QualityWindow> quality_;
   std::uint64_t violations_ = 0;
 };
 

@@ -239,7 +239,8 @@ TEST(UnusedStatusRule, CleanWhenResultIsConsumed) {
        "Status Run(Engine& e) {\n"
        "  Status s = e.Start();\n"
        "  if (Status c = Calibrate(); !c.ok()) return c;\n"
-       "  (void)e.Measure();\n"  // explicit discard is the sanctioned form
+       "  (void)e.Measure();\n"  // explicit discard satisfies this rule
+                                 // (discarded-status polices it separately)
        "  return s;\n"
        "}\n"}};
   EXPECT_TRUE(RuleFindings(LintFiles(files), "unused-status").empty());
@@ -265,6 +266,66 @@ TEST(UnusedStatusRule, Suppressible) {
        "  e.Start();\n"
        "}\n"}};
   EXPECT_TRUE(RuleFindings(LintFiles(files), "unused-status").empty());
+}
+
+// ---------------------------------------------------------------------------
+// discarded-status
+// ---------------------------------------------------------------------------
+
+TEST(DiscardedStatusRule, FiresOnVoidCastsOfStatusCalls) {
+  const Files files = {
+      {"src/engine.h", kStatusHeader},
+      {"src/use.cc",
+       "void Run(Engine& e) {\n"
+       "  (void)e.Start();\n"
+       "  static_cast<void>(Calibrate());\n"
+       "  (void)e.Measure();\n"
+       "}\n"}};
+  const auto findings = RuleFindings(LintFiles(files), "discarded-status");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[1].line, 3u);
+}
+
+TEST(DiscardedStatusRule, FiresThroughReceiverChains) {
+  const Files files = {
+      {"src/engine.h", kStatusHeader},
+      {"src/use.cc",
+       "void Run(Engine* e, Engine** tile) {\n"
+       "  (void)e->Start();\n"
+       "  (void)(*tile)->Start();\n"
+       "  (void)Factory().engine(0).Measure();\n"
+       "}\n"}};
+  EXPECT_EQ(RuleFindings(LintFiles(files), "discarded-status").size(), 3u);
+}
+
+TEST(DiscardedStatusRule, SkipsTestsAndNonStatusCallees) {
+  const Files files = {
+      {"src/engine.h", kStatusHeader},
+      {"tests/use_test.cc", "void Run(Engine& e) { (void)e.Start(); }\n"},
+      {"bench/bench_use_test.cc",
+       "void Run(Engine& e) { (void)e.Start(); }\n"},
+      {"src/ok.cc",
+       "void Run(Engine& e, int unused) {\n"
+       "  (void)unused;\n"             // plain variable, not a call
+       "  (void)e.helper(1);\n"        // not a Status/Expected function
+       "  Status s = e.Start();\n"
+       "  (void)s;\n"
+       "}\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "discarded-status").empty());
+}
+
+TEST(DiscardedStatusRule, AllowDiscardMarkerSuppresses) {
+  const Files files = {
+      {"src/engine.h", kStatusHeader},
+      {"src/use.cc",
+       "void Run(Engine& e) {\n"
+       "  // best effort; failure resurfaces later. cimlint: allow-discard\n"
+       "  (void)e.Start();\n"
+       "  static_cast<void>(Calibrate());  // cimlint: allow-discard\n"
+       "  (void)e.Measure();  // cimlint: allow(discarded-status)\n"
+       "}\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "discarded-status").empty());
 }
 
 TEST(CollectStatusFunctions, FindsDeclarationsAndFiltersAmbiguity) {

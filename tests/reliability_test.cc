@@ -123,6 +123,87 @@ TEST(GuardianTest, NoHealthyPathLosesHeldData) {
   EXPECT_LT((*guardian)->stats().availability(), 1.0);
 }
 
+TEST(GuardianTest, AllBackupPathsDeadCountsPayloadsLost) {
+  // Retry exhaustion, topology edition: the primary AND every backup path
+  // are dead, so SwitchToHealthyPath has nowhere to go — everything held
+  // is counted lost (not retried forever) and the guardian stays usable.
+  auto fabric = arch::Fabric::Create(GuardianFabric());
+  ASSERT_TRUE(fabric.ok());
+  arch::Fabric& f = **fabric;
+  for (auto node : {noc::NodeId{0, 0}, noc::NodeId{1, 0}, noc::NodeId{1, 1},
+                    noc::NodeId{2, 0}}) {
+    LoadIdentity(f, node);
+  }
+  int delivered = 0;
+  auto guardian = StreamGuardian::Create(
+      &f, 1, {{0, 0}, {1, 0}}, {{{0, 0}, {1, 1}}, {{0, 0}, {2, 0}}},
+      [&](std::vector<double>, TimeNs) { ++delivered; });
+  ASSERT_TRUE(guardian.ok());
+
+  ASSERT_TRUE(f.FailTile({1, 0}).ok());
+  ASSERT_TRUE(f.FailTile({1, 1}).ok());
+  ASSERT_TRUE(f.FailTile({2, 0}).ok());
+  ASSERT_TRUE((*guardian)->Inject({1.0}).ok());
+  ASSERT_TRUE((*guardian)->Inject({2.0}).ok());
+  f.queue().Run();
+  (*guardian)->Poll();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ((*guardian)->stats().lost, 2u);
+  EXPECT_EQ((*guardian)->outstanding(), 0u);
+  EXPECT_LT((*guardian)->stats().availability(), 1.0);
+  // Poll after the loss is a no-op, not a crash or a double count.
+  (*guardian)->Poll();
+  (*guardian)->Poll();
+  EXPECT_EQ((*guardian)->stats().lost, 2u);
+}
+
+TEST(GuardianTest, PerPayloadRetryBudgetExhausts) {
+  // Retry exhaustion, budget edition: healthy paths keep existing, but the
+  // payload's own retry budget (max_retries_per_payload = 1) runs out as
+  // each path it lands on dies under it.
+  auto fabric = arch::Fabric::Create(GuardianFabric());
+  ASSERT_TRUE(fabric.ok());
+  arch::Fabric& f = **fabric;
+  // Backup 2 ends on the neighbour (0,1): reachable by minimal X-Y routing
+  // even after the column-1 nodes die (FailTile fails the NoC node too).
+  for (auto node : {noc::NodeId{0, 0}, noc::NodeId{1, 0}, noc::NodeId{1, 1},
+                    noc::NodeId{0, 1}}) {
+    LoadIdentity(f, node);
+  }
+  int delivered = 0;
+  auto guardian = StreamGuardian::Create(
+      &f, 1, {{0, 0}, {1, 0}}, {{{0, 0}, {1, 1}}, {{0, 0}, {0, 1}}},
+      [&](std::vector<double>, TimeNs) { ++delivered; },
+      /*max_retries_per_payload=*/1);
+  ASSERT_TRUE(guardian.ok());
+
+  // Primary dies with the payload in flight; Poll retries on backup 1.
+  ASSERT_TRUE(f.FailTile({1, 0}).ok());
+  ASSERT_TRUE((*guardian)->Inject({1.0}).ok());
+  f.queue().Run();
+  (*guardian)->Poll();
+  EXPECT_EQ((*guardian)->stats().retried, 1u);
+  EXPECT_EQ((*guardian)->active_path_index(), 1u);
+
+  // Backup 1 dies too: the retry budget is spent, so the payload is lost
+  // even though backup 2 is healthy — and the stream itself moves on.
+  ASSERT_TRUE(f.FailTile({1, 1}).ok());
+  f.queue().Run();
+  (*guardian)->Poll();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ((*guardian)->stats().lost, 1u);
+  EXPECT_EQ((*guardian)->stats().retried, 1u);
+  EXPECT_EQ((*guardian)->outstanding(), 0u);
+  EXPECT_EQ((*guardian)->active_path_index(), 2u);
+  EXPECT_LT((*guardian)->stats().availability(), 1.0);
+
+  // The surviving path still carries fresh traffic.
+  ASSERT_TRUE((*guardian)->Inject({3.0}).ok());
+  f.queue().Run();
+  (*guardian)->Poll();
+  EXPECT_EQ(delivered, 1);
+}
+
 TEST(GuardianTest, CreateValidation) {
   auto fabric = arch::Fabric::Create(GuardianFabric());
   ASSERT_TRUE(fabric.ok());

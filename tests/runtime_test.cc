@@ -166,6 +166,59 @@ TEST(SlaControllerTest, TargetValidation) {
   SlaController sla;
   EXPECT_FALSE(sla.SetTarget(1, {-5.0, 0.5, 2}).ok());
   EXPECT_FALSE(sla.SetTarget(1, {100.0, 1.5, 2}).ok());
+  EXPECT_FALSE(sla.SetTarget(1, {100.0, 0.5, 2, -0.1}).ok());
+  EXPECT_FALSE(sla.SetTarget(1, {100.0, 0.5, 2, 1.5}).ok());
+  EXPECT_TRUE(sla.SetTarget(1, {100.0, 0.5, 2, 0.0}).ok());  // strict floor
+}
+
+TEST(SlaControllerTest, RelocateWhenQualityFloorBreached) {
+  SlaController sla;
+  ASSERT_TRUE(sla.SetTarget(1, {1000.0, 0.5, 4, 0.25}).ok());
+  // No latency samples at all: the quality window alone drives the verdict.
+  sla.ObserveQuality(1, true);
+  sla.ObserveQuality(1, true);
+  sla.ObserveQuality(1, false);
+  sla.ObserveQuality(1, false);
+  auto decisions = sla.Evaluate();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].action, SlaAction::kRelocate);
+  EXPECT_DOUBLE_EQ(decisions[0].degraded_fraction, 0.5);
+  EXPECT_EQ(sla.violations(), 1u);
+}
+
+TEST(SlaControllerTest, QualityFloorDominatesLatencyVerdict) {
+  // A stream can be fast *because* its tiles degraded; relocation must win
+  // over the scale-down the latency window would otherwise issue.
+  SlaController sla;
+  ASSERT_TRUE(sla.SetTarget(1, {1000.0, 0.5, 2, 0.25}).ok());
+  sla.Observe(1, 100.0);  // far under target -> would be kScaleDown
+  sla.Observe(1, 100.0);
+  sla.ObserveQuality(1, true);
+  sla.ObserveQuality(1, true);
+  auto decisions = sla.Evaluate();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].action, SlaAction::kRelocate);
+  EXPECT_EQ(sla.violations(), 1u);
+}
+
+TEST(SlaControllerTest, QualityWindowResetsAfterEvaluation) {
+  SlaController sla;
+  ASSERT_TRUE(sla.SetTarget(1, {1000.0, 0.5, 2, 0.25}).ok());
+  sla.ObserveQuality(1, true);
+  sla.ObserveQuality(1, true);
+  EXPECT_EQ(sla.Evaluate().size(), 1u);
+  // Old quality samples are gone; one new sample is below min_samples.
+  sla.ObserveQuality(1, true);
+  EXPECT_TRUE(sla.Evaluate().empty());
+}
+
+TEST(SlaControllerTest, QualityEnforcementDisabledByDefault) {
+  SlaController sla;
+  ASSERT_TRUE(sla.SetTarget(1, {1000.0, 0.5, 2}).ok());  // floor = 1.0
+  sla.ObserveQuality(1, true);
+  sla.ObserveQuality(1, true);
+  EXPECT_TRUE(sla.Evaluate().empty());
+  EXPECT_EQ(sla.violations(), 0u);
 }
 
 TEST(IntegrationTest, OverheadShrinksAcrossTheEvolution) {

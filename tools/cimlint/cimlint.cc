@@ -321,6 +321,46 @@ void CheckUnusedStatus(const SourceFile& file, const StrippedFile& stripped,
   }
 }
 
+void CheckDiscardedStatus(const SourceFile& file, const StrippedFile& stripped,
+                          const std::set<std::string>& status_functions,
+                          std::vector<Finding>& findings) {
+  // A `(void)` / `static_cast<void>` cast of a call whose callee is declared
+  // to return Status/Expected<T>. The cast satisfies [[nodiscard]] but still
+  // drops the error; production code must handle it or justify the discard
+  // with `// cimlint: allow-discard`. Tests exercise failure paths on
+  // purpose, so tests/ and *_test.cc are out of scope.
+  if (file.repo_path.rfind("tests/", 0) == 0 ||
+      EndsWith(file.repo_path, "_test.cc")) {
+    return;
+  }
+  // Matches the discard cast, an optional receiver chain — `obj.`, `ptr->`,
+  // `Ns::`, `(*tile)->`, `f(x).` — and captures the final callee name.
+  static const std::regex kDiscardedCall(
+      R"((?:\(\s*void\s*\)|static_cast\s*<\s*void\s*>\s*\()\s*(?:(?:\(\s*\*+\s*[A-Za-z_]\w*\s*\)|[A-Za-z_]\w*(?:\([^()]*\))?(?:\[[^\]]*\])?)\s*(?:\.|->|::)\s*)*([A-Za-z_]\w*)\s*\()");
+  auto discard_allowed = [&](std::size_t i) {
+    static constexpr std::string_view kMarker = "cimlint: allow-discard";
+    if (stripped.comments[i].find(kMarker) != std::string::npos) return true;
+    return i > 0 &&
+           stripped.comments[i - 1].find(kMarker) != std::string::npos;
+  };
+  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
+    for (std::sregex_iterator it(stripped.code[i].begin(),
+                                 stripped.code[i].end(), kDiscardedCall),
+         end;
+         it != end; ++it) {
+      const std::string callee = (*it)[1].str();
+      if (status_functions.count(callee) == 0) continue;
+      if (discard_allowed(i)) continue;
+      Report(findings, file, stripped, i, "discarded-status",
+             "'" + callee +
+                 "' returns Status/Expected but the result is cast to void; "
+                 "handle the error or justify with `// cimlint: "
+                 "allow-discard`");
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 std::set<std::string> CollectStatusFunctions(
@@ -391,6 +431,7 @@ std::vector<Finding> LintFile(const SourceFile& file,
   CheckMagicUnitLiteral(file, stripped, findings);
   CheckBannedFunctions(file, stripped, findings);
   CheckUnusedStatus(file, stripped, status_functions, findings);
+  CheckDiscardedStatus(file, stripped, status_functions, findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);

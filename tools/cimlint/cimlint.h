@@ -41,6 +41,15 @@
 //                          src/common/log.cc — executables under bench/
 //                          and examples/ print their tables freely;
 //                          exit() in a file that does not define main().
+//   discarded-status       A `(void)` / `static_cast<void>` cast of a call
+//                          to a function returning Status/Expected, outside
+//                          tests. Casting satisfies [[nodiscard]] but still
+//                          drops the error on the floor; production code
+//                          must handle it, or justify the discard with a
+//                          `// cimlint: allow-discard` comment on the same
+//                          or previous line. Test code exercises failure
+//                          paths deliberately, so tests/ and *_test.cc are
+//                          out of scope.
 #pragma once
 
 #include <filesystem>
