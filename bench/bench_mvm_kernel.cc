@@ -1,0 +1,339 @@
+// KERNEL — analog-cycle microbenchmark: SoA fast path vs reference kernel.
+//
+// Three layers of measurement, innermost out:
+//   1. Raw Crossbar::Cycle at 64/128/256, quiet (sigma=0) and noisy
+//      devices, in ns per cell.
+//   2. A full 128x128 tile MVM through MvmEngine::Compute (8 input bits x
+//      4 slices x 2 planes = 64 analog cycles) — the headline number: the
+//      quiet-device fast path must be >= 4x the reference kernel.
+//   3. End-to-end DpeAccelerator::InferBatch throughput at 1 and 8 worker
+//      threads (noise on — the realistic serving configuration).
+//
+// Before any timing, a differential gate recomputes fast-vs-reference MVMs
+// and requires bit-identical y vectors (exit 1 on mismatch) — speed that
+// changes results is a bug, not a feature. With noise enabled both kernels
+// draw the same lognormal stream cell-by-cell, so the noisy speedup is
+// bounded near 1x by libm (documented in EXPERIMENTS.md); the quiet
+// configuration shows the kernel's real arithmetic gain.
+//
+// Flags:
+//   --smoke        short timing windows (CI smoke / sanitizer runs; the
+//                  bit-identity gate still runs at full strength, the 4x
+//                  timing gate is skipped because sanitizers distort ratios)
+//   --json <path>  write the measurements as JSON (scripts/bench_json.sh
+//                  uses this to produce BENCH_PR4.json)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+#include "crossbar/crossbar.h"
+#include "crossbar/mvm_engine.h"
+#include "dpe/accelerator.h"
+#include "nn/network.h"
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0xBE7C4E11ULL;
+
+using cim::Rng;
+using cim::crossbar::Crossbar;
+using cim::crossbar::CrossbarParams;
+using cim::crossbar::MvmEngine;
+using cim::crossbar::MvmEngineParams;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Repeat fn until `min_s` wall-clock accumulated, three times over, and
+// keep the fastest window's per-call time. Minimum-of-repetitions is the
+// standard noise-resistant estimator: scheduler preemption and frequency
+// ramps only ever make a window slower, so the min is the closest view of
+// the kernel's true cost and keeps the speedup gate stable on busy hosts.
+template <typename Fn>
+double TimePerCall(Fn&& fn, double min_s) {
+  fn();  // warm-up (faults in pages, primes caches)
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::uint64_t calls = 0;
+    const double start = Now();
+    double elapsed = 0.0;
+    do {
+      fn();
+      ++calls;
+      elapsed = Now() - start;
+    } while (elapsed < min_s);
+    const double per_call = elapsed / static_cast<double>(calls);
+    if (rep == 0 || per_call < best) best = per_call;
+  }
+  return best;
+}
+
+CrossbarParams ArrayParams(std::size_t size, double sigma, bool reference) {
+  CrossbarParams p;
+  p.rows = size;
+  p.cols = size;
+  p.cell.read_noise_sigma = sigma;
+  p.reference_kernel = reference;
+  return p;
+}
+
+Crossbar MakeProgrammedArray(const CrossbarParams& params) {
+  auto xbar = Crossbar::Create(params, Rng(kSeed));
+  CIM_CHECK(xbar.ok());
+  Rng level_rng(kSeed + 1);
+  std::vector<std::uint64_t> levels(params.rows * params.cols);
+  for (auto& l : levels) {
+    l = static_cast<std::uint64_t>(level_rng.UniformInt(
+        0, static_cast<std::int64_t>(params.cell.levels()) - 1));
+  }
+  CIM_CHECK(xbar->ProgramLevels(levels).ok());
+  return std::move(xbar.value());
+}
+
+MvmEngineParams EngineParams(double sigma, bool reference) {
+  MvmEngineParams p;
+  p.array = ArrayParams(128, sigma, reference);
+  return p;
+}
+
+MvmEngine MakeProgrammedEngine(const MvmEngineParams& params) {
+  auto engine = MvmEngine::Create(params, 128, 128, Rng(kSeed + 2));
+  CIM_CHECK(engine.ok());
+  Rng weight_rng(kSeed + 3);
+  std::vector<double> w(128 * 128);
+  for (double& v : w) v = weight_rng.Uniform(-1.0, 1.0);
+  CIM_CHECK(engine->ProgramWeights(w).ok());
+  return std::move(engine.value());
+}
+
+struct CyclePoint {
+  std::size_t size = 0;
+  double sigma = 0.0;
+  double ref_ns_per_cell = 0.0;
+  double fast_ns_per_cell = 0.0;
+  [[nodiscard]] double speedup() const {
+    return ref_ns_per_cell / fast_ns_per_cell;
+  }
+};
+
+struct MvmPoint {
+  double sigma = 0.0;
+  double ref_us = 0.0;
+  double fast_us = 0.0;
+  [[nodiscard]] double speedup() const { return ref_us / fast_us; }
+};
+
+struct InferPoint {
+  std::size_t threads = 0;
+  double inf_per_sec = 0.0;
+};
+
+// Differential gate: fast and reference MVMs on twin engines must produce
+// bit-identical outputs. Runs for both device configurations.
+bool BitIdentityGate() {
+  bool identical = true;
+  for (const double sigma : {0.0, 0.02}) {
+    MvmEngine fast = MakeProgrammedEngine(EngineParams(sigma, false));
+    MvmEngine reference = MakeProgrammedEngine(EngineParams(sigma, true));
+    Rng in_rng(kSeed + 4);
+    for (std::uint64_t trial = 0; trial < 3; ++trial) {
+      std::vector<double> x(128);
+      for (double& v : x) v = in_rng.Uniform(0.0, 1.0);
+      Rng fast_rng(cim::DeriveSeed(kSeed, trial));
+      Rng ref_rng(cim::DeriveSeed(kSeed, trial));
+      auto f = fast.Compute(x, &fast_rng);
+      auto r = reference.Compute(x, &ref_rng);
+      CIM_CHECK(f.ok() && r.ok());
+      for (std::size_t i = 0; i < f->y.size(); ++i) {
+        if (f->y[i] != r->y[i]) identical = false;
+      }
+    }
+  }
+  return identical;
+}
+
+double MeasureCycleNsPerCell(const CrossbarParams& params, double min_s) {
+  Crossbar xbar = MakeProgrammedArray(params);
+  const std::vector<std::uint64_t> row_codes(params.rows, 1);  // all active
+  Rng noise(kSeed + 5);
+  const double per_call = TimePerCall(
+      [&] { CIM_CHECK(xbar.Cycle(row_codes, 0, &noise).ok()); }, min_s);
+  return per_call * 1e9 / static_cast<double>(params.rows * params.cols);
+}
+
+double MeasureMvmUs(const MvmEngineParams& params, double min_s) {
+  MvmEngine engine = MakeProgrammedEngine(params);
+  Rng in_rng(kSeed + 6);
+  std::vector<double> x(128);
+  for (double& v : x) v = in_rng.Uniform(0.0, 1.0);
+  Rng noise(kSeed + 7);
+  const double per_call = TimePerCall(
+      [&] { CIM_CHECK(engine.Compute(x, &noise).ok()); }, min_s);
+  return per_call * 1e6;
+}
+
+InferPoint MeasureInferBatch(std::size_t threads, double min_s) {
+  Rng rng(kSeed + 8);
+  const cim::nn::Network net =
+      cim::nn::BuildMlp("kern", {192, 256, 128, 32}, rng, 0.3);
+  cim::dpe::DpeParams params = cim::dpe::DpeParams::Isaac();
+  params.array.cell.read_noise_sigma = 0.02;  // realistic serving config
+  params.worker_threads = threads;
+  auto acc = cim::dpe::DpeAccelerator::Create(params, net, Rng(kSeed + 9));
+  CIM_CHECK(acc.ok());
+
+  constexpr std::size_t kBatch = 8;
+  std::vector<cim::nn::Tensor> inputs;
+  for (std::size_t b = 0; b < kBatch; ++b) {
+    cim::nn::Tensor t({192});
+    for (auto& v : t.vec()) v = rng.Uniform(0.0, 1.0);
+    inputs.push_back(std::move(t));
+  }
+  const std::span<const cim::nn::Tensor> span(inputs.data(), kBatch);
+
+  std::uint64_t inferences = 0;
+  const double start = Now();
+  double elapsed = 0.0;
+  do {
+    CIM_CHECK((*acc)->InferBatch(span).ok());
+    inferences += kBatch;
+    elapsed = Now() - start;
+  } while (elapsed < min_s);
+  return InferPoint{threads, static_cast<double>(inferences) / elapsed};
+}
+
+void WriteJson(const std::string& path, const std::vector<CyclePoint>& cycles,
+               const std::vector<MvmPoint>& mvms,
+               const std::vector<InferPoint>& infer, bool identical) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  CIM_CHECK(out != nullptr);
+  std::fprintf(out, "{\n  \"bench\": \"bench_mvm_kernel\",\n");
+  std::fprintf(out, "  \"bit_identity\": \"%s\",\n",
+               identical ? "PASS" : "FAIL");
+  std::fprintf(out, "  \"crossbar_cycle\": [\n");
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    const CyclePoint& p = cycles[i];
+    std::fprintf(out,
+                 "    {\"size\": %zu, \"read_noise_sigma\": %.3f, "
+                 "\"reference_ns_per_cell\": %.3f, "
+                 "\"fast_ns_per_cell\": %.3f, \"speedup\": %.2f}%s\n",
+                 p.size, p.sigma, p.ref_ns_per_cell, p.fast_ns_per_cell,
+                 p.speedup(), i + 1 < cycles.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"tile_mvm_128x128\": [\n");
+  for (std::size_t i = 0; i < mvms.size(); ++i) {
+    const MvmPoint& p = mvms[i];
+    std::fprintf(out,
+                 "    {\"read_noise_sigma\": %.3f, \"reference_us\": %.1f, "
+                 "\"fast_us\": %.1f, \"speedup\": %.2f}%s\n",
+                 p.sigma, p.ref_us, p.fast_us, p.speedup(),
+                 i + 1 < mvms.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"infer_batch\": [\n");
+  for (std::size_t i = 0; i < infer.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"inferences_per_sec\": %.1f}%s\n",
+                 infer[i].threads, infer[i].inf_per_sec,
+                 i + 1 < infer.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  CIM_CHECK(std::fclose(out) == 0);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::printf("usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  const double min_s = smoke ? 0.01 : 0.3;
+
+  // Correctness before speed: both device configurations must agree
+  // bit-for-bit between the kernels.
+  const bool identical = BitIdentityGate();
+  std::printf("fast-vs-reference bit identity: %s\n",
+              identical ? "PASS" : "FAIL");
+  if (!identical) return 1;
+
+  std::printf("\n== Crossbar::Cycle (all rows driven, ns per cell) ==\n");
+  std::printf("%-6s %-7s %14s %14s %10s\n", "size", "sigma", "reference",
+              "fast", "speedup");
+  std::vector<CyclePoint> cycles;
+  for (const std::size_t size :
+       {std::size_t{64}, std::size_t{128}, std::size_t{256}}) {
+    for (const double sigma : {0.0, 0.02}) {
+      CyclePoint p;
+      p.size = size;
+      p.sigma = sigma;
+      p.ref_ns_per_cell =
+          MeasureCycleNsPerCell(ArrayParams(size, sigma, true), min_s);
+      p.fast_ns_per_cell =
+          MeasureCycleNsPerCell(ArrayParams(size, sigma, false), min_s);
+      std::printf("%-6zu %-7.3f %14.3f %14.3f %9.2fx\n", p.size, p.sigma,
+                  p.ref_ns_per_cell, p.fast_ns_per_cell, p.speedup());
+      cycles.push_back(p);
+    }
+  }
+
+  std::printf("\n== 128x128 tile MVM, MvmEngine::Compute (us per MVM) ==\n");
+  std::printf("%-7s %14s %14s %10s\n", "sigma", "reference", "fast",
+              "speedup");
+  std::vector<MvmPoint> mvms;
+  for (const double sigma : {0.0, 0.02}) {
+    MvmPoint p;
+    p.sigma = sigma;
+    p.ref_us = MeasureMvmUs(EngineParams(sigma, true), min_s);
+    p.fast_us = MeasureMvmUs(EngineParams(sigma, false), min_s);
+    std::printf("%-7.3f %14.1f %14.1f %9.2fx\n", p.sigma, p.ref_us, p.fast_us,
+                p.speedup());
+    mvms.push_back(p);
+  }
+
+  std::printf("\n== DpeAccelerator::InferBatch (noise on, batch 8) ==\n");
+  std::printf("%-8s %14s\n", "threads", "inf/sec");
+  std::vector<InferPoint> infer;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    infer.push_back(MeasureInferBatch(threads, min_s));
+    std::printf("%-8zu %14.1f\n", infer.back().threads,
+                infer.back().inf_per_sec);
+  }
+
+  std::printf(
+      "\nquiet-device (sigma=0) rows show the kernel's arithmetic gain; "
+      "with noise on, both kernels draw the identical lognormal stream "
+      "cell-by-cell, so libm bounds the speedup near 1x (see "
+      "EXPERIMENTS.md, Simulator performance)\n");
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, cycles, mvms, infer, identical);
+  }
+
+  // Timing gate (skipped in smoke mode — sanitizer builds distort ratios):
+  // the quiet-device 128x128 MVM must clear the 4x acceptance bar.
+  if (!smoke && mvms[0].speedup() < 4.0) {
+    std::printf("FAIL: quiet-device 128x128 MVM speedup %.2fx < 4x\n",
+                mvms[0].speedup());
+    return 1;
+  }
+  return 0;
+}

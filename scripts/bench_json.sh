@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build the optimized preset and record the analog-kernel performance
+# numbers as JSON: raw Crossbar::Cycle ns/cell (reference vs SoA fast
+# path), the 128x128 tile MVM speedup, and end-to-end InferBatch
+# throughput. Writes BENCH_PR4.json at the repo root (CI uploads it as an
+# artifact; EXPERIMENTS.md § Simulator performance explains the numbers).
+#
+# Usage:
+#   scripts/bench_json.sh            # full timing windows (~20 s)
+#   scripts/bench_json.sh --smoke    # short windows (CI / quick sanity)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+preset="relwithdebinfo"
+out="BENCH_PR4.json"
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)" --target bench_mvm_kernel
+
+"./build/$preset/bench/bench_mvm_kernel" "$@" --json "$out"
+echo "==> $out"

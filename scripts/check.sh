@@ -36,7 +36,20 @@ run_preset() {
   "./build/$preset/tools/cimlint/cimlint" --root . src bench examples tests
   if [[ "$preset" == "relwithdebinfo" ]]; then
     run_fault_determinism_gate "$preset"
+    run_perf_gate "$preset"
   fi
+}
+
+# Kernel perf gate: the perf-labeled suites (fast-vs-reference differential
+# tests + bench smoke) plus a full bench_mvm_kernel run, which enforces the
+# >= 4x quiet-device 128x128 MVM speedup and writes BENCH_PR4.json — the
+# artifact CI uploads and EXPERIMENTS.md § Simulator performance documents.
+run_perf_gate() {
+  local preset="$1"
+  echo "==> [$preset] ctest (perf label)"
+  ctest --preset "$preset" -L perf
+  echo "==> [$preset] bench_mvm_kernel (speedup gate + BENCH_PR4.json)"
+  "./build/$preset/bench/bench_mvm_kernel" --json BENCH_PR4.json
 }
 
 # Replay determinism gate: the fault ablation drives scenario-seeded

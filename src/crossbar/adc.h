@@ -29,8 +29,10 @@ struct AdcParams {
                            static_cast<double>(reference_bits));
   }
   [[nodiscard]] EnergyPj conversion_energy() const {
-    return base_energy *
-           std::pow(2.0, static_cast<double>(bits - reference_bits));
+    // Exact scale-by-2^n (the exponent can be negative); bit-identical to
+    // the std::pow(2.0, n) it replaced, minus the libm call — this runs
+    // once per sensed column per analog cycle.
+    return base_energy * std::ldexp(1.0, bits - reference_bits);
   }
 
   // Quantize a current in [0, full_scale] to a code, then back to amperes.

@@ -23,6 +23,23 @@ Status CrossbarParams::Validate() const {
   return cell.Validate();
 }
 
+Status PrepareDrive(const DacParams& dac,
+                    std::span<const std::uint64_t> codes, DrivePattern* out) {
+  CIM_CHECK(out != nullptr);
+  const std::uint64_t max_code = (std::uint64_t{1} << dac.bits) - 1;
+  for (std::uint64_t code : codes) {
+    CIM_REQUIRE(code <= max_code, OutOfRange("DAC code exceeds dac.bits"));
+  }
+  out->voltages.resize(codes.size());
+  out->active = 0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const double v = dac.LevelVoltage(codes[i]);
+    out->voltages[i] = v;
+    if (v != 0.0) ++out->active;
+  }
+  return Status::Ok();
+}
+
 Expected<Crossbar> Crossbar::Create(const CrossbarParams& params, Rng rng) {
   if (Status status = params.Validate(); !status.ok()) return status;
   return Crossbar(params, rng);
@@ -34,6 +51,66 @@ Crossbar::Crossbar(const CrossbarParams& params, Rng rng)
   for (std::size_t i = 0; i < params_.rows * params_.cols; ++i) {
     cells_.emplace_back(params_.cell);
   }
+  gain_.resize(params_.rows * params_.cols);
+  gain_transposed_.resize(params_.rows * params_.cols);
+  row_read_energy_pj_.resize(params_.rows);
+  col_read_energy_pj_.resize(params_.cols);
+  RefreshMirror();
+}
+
+double Crossbar::EffectiveConductance(const device::MemristorCell& cell) const {
+  double g = cell.true_conductance();
+  if (cell.fault() == device::CellFault::kStuckOn) g = params_.cell.g_on_siemens;
+  if (cell.fault() == device::CellFault::kStuckOff) {
+    g = params_.cell.g_off_siemens;
+  }
+  return g;
+}
+
+void Crossbar::RefreshMirror() {
+  const std::size_t rows = params_.rows;
+  const std::size_t cols = params_.cols;
+  const double energy_per_gon =
+      params_.cell.read_energy.pj / params_.cell.g_on_siemens;
+  std::fill(col_read_energy_pj_.begin(), col_read_energy_pj_.end(), 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double row_energy = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const device::MemristorCell& cell = cells_[r * cols + c];
+      const double g = EffectiveConductance(cell);
+      gain_[r * cols + c] = g;
+      gain_transposed_[c * rows + r] = g;
+      // Read energy is ohmic off the stored (pre-fault-override)
+      // conductance — mirrors MemristorCell::Read.
+      const double e = cell.true_conductance() * energy_per_gon;
+      row_energy += e;
+      col_read_energy_pj_[c] += e;
+    }
+    row_read_energy_pj_[r] = row_energy;
+  }
+}
+
+void Crossbar::RefreshMirrorCell(std::size_t row, std::size_t col) {
+  const std::size_t rows = params_.rows;
+  const std::size_t cols = params_.cols;
+  const double energy_per_gon =
+      params_.cell.read_energy.pj / params_.cell.g_on_siemens;
+  const double g = EffectiveConductance(cells_[row * cols + col]);
+  gain_[row * cols + col] = g;
+  gain_transposed_[col * rows + row] = g;
+  // Re-sum the touched row/column energies from scratch (instead of a
+  // cheaper add-the-delta) so the mirror depends only on the current cell
+  // state, never on the mutation history — FP deltas would drift.
+  double row_energy = 0.0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    row_energy += cells_[row * cols + c].true_conductance() * energy_per_gon;
+  }
+  row_read_energy_pj_[row] = row_energy;
+  double col_energy = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    col_energy += cells_[r * cols + col].true_conductance() * energy_per_gon;
+  }
+  col_read_energy_pj_[col] = col_energy;
 }
 
 Expected<CostReport> Crossbar::ProgramLevels(
@@ -69,6 +146,7 @@ Expected<CostReport> Crossbar::ProgramLevels(
   // The level matrix itself had to reach the array from outside.
   total.bytes_moved += static_cast<double>(levels.size()) *
                        static_cast<double>(params_.cell.cell_bits) / 8.0;
+  RefreshMirror();
   return total;
 }
 
@@ -82,6 +160,7 @@ Expected<CostReport> Crossbar::ProgramCell(std::size_t row, std::size_t col,
       cells_[row * params_.cols + col].Program(params_.cell, level, rng_);
   ++write_attempts_;
   if (!pr.verified) ++write_verify_failures_;
+  RefreshMirrorCell(row, col);
   CostReport cost;
   cost.latency_ns = pr.latency.ns;
   cost.energy_pj = pr.energy.pj;
@@ -98,33 +177,158 @@ double Crossbar::FullScaleCurrent() const {
 std::vector<double> Crossbar::IdealColumnCurrents(
     std::span<const std::uint64_t> row_codes) const {
   CIM_CHECK(row_codes.size() == params_.rows);
+  // Deliberately computed off cells_ (the source of truth), not the SoA
+  // mirror: the mirror-invalidation tests compare cycles against this.
   std::vector<double> currents(params_.cols, 0.0);
   for (std::size_t r = 0; r < params_.rows; ++r) {
     const double v = params_.dac.LevelVoltage(row_codes[r]);
     if (v == 0.0) continue;
     for (std::size_t c = 0; c < params_.cols; ++c) {
-      currents[c] += v * cells_[r * params_.cols + c].true_conductance();
+      currents[c] += v * EffectiveConductance(cells_[r * params_.cols + c]);
     }
   }
   return currents;
 }
 
+void Crossbar::ForwardAccumulateReference(const DrivePattern& drive, Rng& rng,
+                                          std::span<double> currents,
+                                          double& energy_pj) {
+  const std::size_t cols = params_.cols;
+  for (std::size_t r = 0; r < params_.rows; ++r) {
+    const double v = drive.voltages[r];
+    if (v == 0.0) continue;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const device::ReadResult rr = cells_[r * cols + c].Read(params_.cell,
+                                                              rng);
+      currents[c] += v * rr.conductance_siemens;
+      energy_pj += rr.energy.pj;
+    }
+    energy_pj += params_.dac.drive_energy.pj;
+  }
+}
+
+void Crossbar::ForwardAccumulateFast(const DrivePattern& drive, Rng& rng,
+                                     std::span<double> currents,
+                                     double& energy_pj) {
+  const std::size_t cols = params_.cols;
+  const double sigma = params_.cell.read_noise_sigma;
+  const double ceiling = params_.cell.g_on_siemens * 1.5;
+  // Per driven row: draw the row's noise factors into a scratch buffer in
+  // the same order the reference kernel consumes the stream (row-major,
+  // every column of an active row), then run a dense accumulate over the
+  // contiguous conductance mirror. The two loops split the serial RNG
+  // dependency chain from the arithmetic, so the second loop
+  // auto-vectorizes; each column owns an independent accumulator chain, so
+  // vectorizing across columns cannot reorder any FP sum.
+  thread_local std::vector<double> factors;
+  if (sigma > 0.0 && factors.size() < cols) factors.resize(cols);
+  for (std::size_t r = 0; r < params_.rows; ++r) {
+    const double v = drive.voltages[r];
+    if (v == 0.0) continue;
+    // __restrict: the mirror, the scratch buffer and the accumulator never
+    // alias, and saying so is what lets the dense loops below vectorize
+    // without runtime overlap checks.
+    const double* __restrict g_row = gain_.data() + r * cols;
+    double* __restrict cur = currents.data();
+    if (sigma > 0.0) {
+      double* __restrict f = factors.data();
+      for (std::size_t c = 0; c < cols; ++c) {
+        f[c] = rng.LogNormal(0.0, sigma);
+      }
+      for (std::size_t c = 0; c < cols; ++c) {
+        const double g = std::clamp(g_row[c] * f[c], 0.0, ceiling);
+        cur[c] += v * g;
+      }
+    } else {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const double g = std::clamp(g_row[c], 0.0, ceiling);
+        cur[c] += v * g;
+      }
+    }
+    energy_pj += row_read_energy_pj_[r];
+    energy_pj += params_.dac.drive_energy.pj;
+  }
+}
+
+void Crossbar::TransposeAccumulateReference(const DrivePattern& drive,
+                                            Rng& rng,
+                                            std::span<double> currents,
+                                            double& energy_pj) {
+  const std::size_t cols = params_.cols;
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double v = drive.voltages[c];
+    if (v == 0.0) continue;
+    for (std::size_t r = 0; r < params_.rows; ++r) {
+      const device::ReadResult rr = cells_[r * cols + c].Read(params_.cell,
+                                                              rng);
+      currents[r] += v * rr.conductance_siemens;
+      energy_pj += rr.energy.pj;
+    }
+    energy_pj += params_.dac.drive_energy.pj;
+  }
+}
+
+void Crossbar::TransposeAccumulateFast(const DrivePattern& drive, Rng& rng,
+                                       std::span<double> currents,
+                                       double& energy_pj) {
+  const std::size_t rows = params_.rows;
+  const double sigma = params_.cell.read_noise_sigma;
+  const double ceiling = params_.cell.g_on_siemens * 1.5;
+  thread_local std::vector<double> factors;
+  if (sigma > 0.0 && factors.size() < rows) factors.resize(rows);
+  for (std::size_t c = 0; c < params_.cols; ++c) {
+    const double v = drive.voltages[c];
+    if (v == 0.0) continue;
+    // The transposed mirror keeps a column's conductances contiguous, so
+    // the backward direction gets the same dense kernel as the forward one.
+    const double* __restrict g_col = gain_transposed_.data() + c * rows;
+    double* __restrict cur = currents.data();
+    if (sigma > 0.0) {
+      double* __restrict f = factors.data();
+      for (std::size_t r = 0; r < rows; ++r) {
+        f[r] = rng.LogNormal(0.0, sigma);
+      }
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double g = std::clamp(g_col[r] * f[r], 0.0, ceiling);
+        cur[r] += v * g;
+      }
+    } else {
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double g = std::clamp(g_col[r], 0.0, ceiling);
+        cur[r] += v * g;
+      }
+    }
+    energy_pj += col_read_energy_pj_[c];
+    energy_pj += params_.dac.drive_energy.pj;
+  }
+}
+
 Expected<AnalogCycleResult> Crossbar::Cycle(
     std::span<const std::uint64_t> row_codes, std::size_t active_cols,
     Rng* noise_rng) {
-  Rng& rng = noise_rng != nullptr ? *noise_rng : rng_;
   CIM_REQUIRE(row_codes.size() == params_.rows,
               InvalidArgument("row drive vector size mismatch"));
   // 0 means "sense every column"; asking for more columns than exist was
   // previously clamped silently, which hid caller bugs.
   CIM_REQUIRE(active_cols <= params_.cols,
               InvalidArgument("active_cols exceeds crossbar width"));
-  if (active_cols == 0) active_cols = params_.cols;
-  const std::uint64_t max_code =
-      (std::uint64_t{1} << params_.dac.bits) - 1;
-  for (std::uint64_t code : row_codes) {
-    CIM_REQUIRE(code <= max_code, OutOfRange("DAC code exceeds dac.bits"));
+  thread_local DrivePattern drive;
+  if (Status status = PrepareDrive(params_.dac, row_codes, &drive);
+      !status.ok()) {
+    return status;
   }
+  return CycleDriven(drive, active_cols, noise_rng);
+}
+
+Expected<AnalogCycleResult> Crossbar::CycleDriven(const DrivePattern& drive,
+                                                  std::size_t active_cols,
+                                                  Rng* noise_rng) {
+  Rng& rng = noise_rng != nullptr ? *noise_rng : rng_;
+  CIM_REQUIRE(drive.voltages.size() == params_.rows,
+              InvalidArgument("row drive pattern size mismatch"));
+  CIM_REQUIRE(active_cols <= params_.cols,
+              InvalidArgument("active_cols exceeds crossbar width"));
+  if (active_cols == 0) active_cols = params_.cols;
 
   AnalogCycleResult result;
   result.column_codes.assign(params_.cols, 0);
@@ -132,19 +336,14 @@ Expected<AnalogCycleResult> Crossbar::Cycle(
   // Accumulate noisy column currents. Every cell on an active row draws
   // (conductance-proportional) read energy; only gated columns get sensed.
   std::vector<double> currents(params_.cols, 0.0);
-  std::size_t active_rows = 0;
-  for (std::size_t r = 0; r < params_.rows; ++r) {
-    const double v = params_.dac.LevelVoltage(row_codes[r]);
-    if (v == 0.0) continue;
-    ++active_rows;
-    for (std::size_t c = 0; c < params_.cols; ++c) {
-      const device::ReadResult rr =
-          cells_[r * params_.cols + c].Read(params_.cell, rng);
-      currents[c] += v * rr.conductance_siemens;
-      result.cost.energy_pj += rr.energy.pj;
-    }
-    result.cost.energy_pj += params_.dac.drive_energy.pj;
+  double energy_pj = 0.0;
+  if (params_.reference_kernel) {
+    ForwardAccumulateReference(drive, rng, currents, energy_pj);
+  } else {
+    ForwardAccumulateFast(drive, rng, currents, energy_pj);
   }
+  result.cost.energy_pj = energy_pj;
+  const std::size_t active_rows = drive.active;
 
   // First-order IR drop: attenuate with the fraction of simultaneously
   // active rows.
@@ -177,35 +376,41 @@ Expected<AnalogCycleResult> Crossbar::Cycle(
 }
 
 Expected<AnalogCycleResult> Crossbar::CycleTranspose(
-    std::span<const std::uint64_t> col_codes, std::size_t active_rows) {
+    std::span<const std::uint64_t> col_codes, std::size_t active_rows,
+    Rng* noise_rng) {
   CIM_REQUIRE(col_codes.size() == params_.cols,
               InvalidArgument("column drive vector size mismatch"));
   CIM_REQUIRE(active_rows <= params_.rows,
               InvalidArgument("active_rows exceeds crossbar height"));
-  if (active_rows == 0) active_rows = params_.rows;
-  const std::uint64_t max_code =
-      (std::uint64_t{1} << params_.dac.bits) - 1;
-  for (std::uint64_t code : col_codes) {
-    CIM_REQUIRE(code <= max_code, OutOfRange("DAC code exceeds dac.bits"));
+  thread_local DrivePattern drive;
+  if (Status status = PrepareDrive(params_.dac, col_codes, &drive);
+      !status.ok()) {
+    return status;
   }
+  return CycleTransposeDriven(drive, active_rows, noise_rng);
+}
+
+Expected<AnalogCycleResult> Crossbar::CycleTransposeDriven(
+    const DrivePattern& drive, std::size_t active_rows, Rng* noise_rng) {
+  Rng& rng = noise_rng != nullptr ? *noise_rng : rng_;
+  CIM_REQUIRE(drive.voltages.size() == params_.cols,
+              InvalidArgument("column drive pattern size mismatch"));
+  CIM_REQUIRE(active_rows <= params_.rows,
+              InvalidArgument("active_rows exceeds crossbar height"));
+  if (active_rows == 0) active_rows = params_.rows;
 
   AnalogCycleResult result;
   result.column_codes.assign(params_.rows, 0);  // row codes here
 
   std::vector<double> currents(params_.rows, 0.0);
-  std::size_t active_cols = 0;
-  for (std::size_t c = 0; c < params_.cols; ++c) {
-    const double v = params_.dac.LevelVoltage(col_codes[c]);
-    if (v == 0.0) continue;
-    ++active_cols;
-    for (std::size_t r = 0; r < params_.rows; ++r) {
-      const device::ReadResult rr =
-          cells_[r * params_.cols + c].Read(params_.cell, rng_);
-      currents[r] += v * rr.conductance_siemens;
-      result.cost.energy_pj += rr.energy.pj;
-    }
-    result.cost.energy_pj += params_.dac.drive_energy.pj;
+  double energy_pj = 0.0;
+  if (params_.reference_kernel) {
+    TransposeAccumulateReference(drive, rng, currents, energy_pj);
+  } else {
+    TransposeAccumulateFast(drive, rng, currents, energy_pj);
   }
+  result.cost.energy_pj = energy_pj;
+  const std::size_t active_cols = drive.active;
 
   const double attenuation =
       1.0 - params_.ir_drop_alpha * static_cast<double>(active_cols) /
@@ -232,12 +437,14 @@ Expected<AnalogCycleResult> Crossbar::CycleTranspose(
 
 void Crossbar::Age(TimeNs elapsed) {
   for (auto& cell : cells_) cell.Age(params_.cell, elapsed);
+  RefreshMirror();
 }
 
 void Crossbar::InjectCellFault(std::size_t row, std::size_t col,
                                device::CellFault fault) {
   CIM_CHECK(row < params_.rows && col < params_.cols);
   cells_[row * params_.cols + col].InjectFault(fault);
+  RefreshMirrorCell(row, col);
 }
 
 std::size_t Crossbar::CountFaultedCells() const {

@@ -6,6 +6,17 @@
 // which is the physical basis of the paper's CIM performance claims: the
 // weights never move, so the "memory bandwidth" of the operation is the
 // whole array refreshed every cycle.
+//
+// Kernel structure: the cell grid is the array-of-structs source of truth
+// (program/verify, wear, drift, faults all live on MemristorCell), but the
+// cycle hot loop runs on a structure-of-arrays mirror — a contiguous
+// fault-adjusted conductance plane plus per-row/per-column read-energy sums
+// — refreshed whenever a mutation (ProgramLevels / ProgramCell / Age /
+// InjectCellFault) dirties it. The mirror kernel is bit-identical to the
+// original per-cell walk (same RNG draw order, same per-column FP
+// accumulation order); the per-cell walk is kept behind
+// CrossbarParams::reference_kernel for the differential test and the
+// bench_mvm_kernel speedup measurement.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +48,13 @@ struct CrossbarParams {
   // Rows programmed in parallel during a weight write (write verify is
   // per-row in this model).
   bool parallel_row_write = true;
+  // Run the original array-of-structs per-cell kernel instead of the SoA
+  // fast path. Column codes (and transpose row codes) are bit-identical
+  // either way — the kernel differential test enforces it; only cycle
+  // energy differs in the last ulps (the fast path sums read energy
+  // analytically per row instead of per cell). Exists for that test and
+  // for the bench_mvm_kernel speedup measurement.
+  bool reference_kernel = false;
 
   [[nodiscard]] Status Validate() const;
 };
@@ -46,6 +64,22 @@ struct AnalogCycleResult {
   std::vector<std::uint64_t> column_codes;
   CostReport cost;
 };
+
+// Precomputed drive pattern for one analog cycle: per-line DAC voltages
+// plus the count of active (nonzero-voltage) lines. The MVM engine builds
+// one pattern per input bit and shares it across every (slice, plane)
+// array, so code validation and voltage expansion are paid once per bit
+// instead of once per array per bit.
+struct DrivePattern {
+  std::vector<double> voltages;
+  std::size_t active = 0;
+};
+
+// Validate `codes` against `dac` (every code < 2^dac.bits) and expand them
+// into per-line voltages in `out` (reusing its storage).
+[[nodiscard]] Status PrepareDrive(const DacParams& dac,
+                                  std::span<const std::uint64_t> codes,
+                                  DrivePattern* out);
 
 class Crossbar {
  public:
@@ -85,17 +119,33 @@ class Crossbar {
       std::span<const std::uint64_t> row_codes, std::size_t active_cols = 0,
       Rng* noise_rng = nullptr);
 
+  // Cycle with a pre-validated drive pattern (see PrepareDrive) — the MVM
+  // engine's fused bit-sweep entry point.
+  [[nodiscard]] Expected<AnalogCycleResult> CycleDriven(
+      const DrivePattern& drive, std::size_t active_cols = 0,
+      Rng* noise_rng = nullptr);
+
   // Transpose cycle: drive the columns, sense the rows (y -> W y). The
   // crossbar is bidirectional — the property the DPE lineage exploits for
-  // in-situ backpropagation. Returns `active_rows` row codes.
+  // in-situ backpropagation. Returns `active_rows` row codes. `noise_rng`
+  // carries the same contract as in Cycle: with an external stream the
+  // call mutates no crossbar state, so the training/backward path gets the
+  // same concurrency guarantees as the forward one.
   [[nodiscard]] Expected<AnalogCycleResult> CycleTranspose(
-      std::span<const std::uint64_t> col_codes, std::size_t active_rows = 0);
+      std::span<const std::uint64_t> col_codes, std::size_t active_rows = 0,
+      Rng* noise_rng = nullptr);
+
+  // Transpose cycle with a pre-validated drive pattern.
+  [[nodiscard]] Expected<AnalogCycleResult> CycleTransposeDriven(
+      const DrivePattern& drive, std::size_t active_rows = 0,
+      Rng* noise_rng = nullptr);
 
   // Full-scale column current the ADC range is calibrated to.
   [[nodiscard]] double FullScaleCurrent() const;
 
   // Noise-free expected column currents for a drive vector — used by tests
-  // and golden models to bound quantization error.
+  // and golden models to bound quantization error. Reflects stuck-cell
+  // faults (a stuck cell's expected current is its stuck conductance).
   [[nodiscard]] std::vector<double> IdealColumnCurrents(
       std::span<const std::uint64_t> row_codes) const;
 
@@ -128,8 +178,45 @@ class Crossbar {
  private:
   Crossbar(const CrossbarParams& params, Rng rng);
 
+  // Fault-adjusted conductance a read of this cell sees before noise —
+  // the value the SoA mirror caches per cell.
+  [[nodiscard]] double EffectiveConductance(
+      const device::MemristorCell& cell) const;
+
+  // Rebuild the whole SoA mirror from cells_ (after ProgramLevels / Age),
+  // or just the entries touched by cell (row, col) (after ProgramCell /
+  // InjectCellFault). Mutations refresh eagerly, never lazily, so cycles
+  // with external noise streams stay free of any crossbar-state writes and
+  // remain safe to run concurrently.
+  void RefreshMirror();
+  void RefreshMirrorCell(std::size_t row, std::size_t col);
+
+  // The two kernel twins behind CycleDriven/CycleTransposeDriven: walk the
+  // driven lines, accumulate noisy currents into `currents` and read+drive
+  // energy into `energy_pj`. Identical column codes by construction; the
+  // differential test (mvm_kernel_test) enforces it.
+  void ForwardAccumulateReference(const DrivePattern& drive, Rng& rng,
+                                  std::span<double> currents,
+                                  double& energy_pj);
+  void ForwardAccumulateFast(const DrivePattern& drive, Rng& rng,
+                             std::span<double> currents, double& energy_pj);
+  void TransposeAccumulateReference(const DrivePattern& drive, Rng& rng,
+                                    std::span<double> currents,
+                                    double& energy_pj);
+  void TransposeAccumulateFast(const DrivePattern& drive, Rng& rng,
+                               std::span<double> currents, double& energy_pj);
+
   CrossbarParams params_;
   std::vector<device::MemristorCell> cells_;
+  // SoA mirror of cells_: contiguous fault-adjusted conductances (row
+  // major, plus a column-major copy so the transpose direction also walks
+  // unit stride) and per-row / per-column read-energy sums (a cycle's
+  // ohmic read energy depends only on the stored conductances, so it folds
+  // into one add per driven line instead of one multiply-add per cell).
+  std::vector<double> gain_;
+  std::vector<double> gain_transposed_;
+  std::vector<double> row_read_energy_pj_;
+  std::vector<double> col_read_energy_pj_;
   Rng rng_;
   std::uint64_t write_attempts_ = 0;
   std::uint64_t write_verify_failures_ = 0;

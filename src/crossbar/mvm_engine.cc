@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.h"
+
 namespace cim::crossbar {
 namespace {
 
@@ -12,6 +14,15 @@ namespace {
 double IrAttenuation(const CrossbarParams& p, std::size_t active_rows) {
   return 1.0 - p.ir_drop_alpha * static_cast<double>(active_rows) /
                    static_cast<double>(p.rows);
+}
+
+// Exact 2^e for the shift-and-add weights: every (bit, slice) exponent fits
+// a shift, and the conversion to double is exact, so this is bit-identical
+// to the std::pow(2.0, e) calls it replaced — without the libm call in the
+// per-cycle merge loop.
+double Pow2(int e) {
+  CIM_DCHECK(e >= 0 && e < 63);
+  return static_cast<double>(std::uint64_t{1} << e);
 }
 
 }  // namespace
@@ -51,6 +62,10 @@ Expected<MvmEngine> MvmEngine::Create(const MvmEngineParams& params,
                            "out_dim must be < array.cols");
   }
   MvmEngine engine(params, in_dim, out_dim);
+  engine.slice_pow_.reserve(static_cast<std::size_t>(params.slices()));
+  for (int s = 0; s < params.slices(); ++s) {
+    engine.slice_pow_.push_back(Pow2(s * params.array.cell.cell_bits));
+  }
   for (int s = 0; s < params.slices(); ++s) {
     auto pos = Crossbar::Create(params.array, rng.Fork());
     auto neg = Crossbar::Create(params.array, rng.Fork());
@@ -252,7 +267,6 @@ Expected<MvmResult> MvmEngine::Compute(std::span<const double> x,
   for (std::size_t i = 0; i < in_dim_; ++i) codes[i] = QuantizeInput(x[i]);
 
   const CrossbarParams& array = params_.array;
-  const int cell_bits = array.cell.cell_bits;
   const double v_read = array.dac.v_read;
   const double g_step = (array.cell.g_on_siemens - array.cell.g_off_siemens) /
                         static_cast<double>(array.cell.levels() - 1);
@@ -271,25 +285,31 @@ Expected<MvmResult> MvmEngine::Compute(std::span<const double> x,
   const std::size_t sense_cols =
       params_.guard_column ? out_dim_ + 1 : out_dim_;
 
+  // Fused bit-sweep: one drive pattern per input bit, validated and
+  // expanded to voltages once, then shared by every (slice, plane) array's
+  // cycle — instead of each of the 2 * slices arrays re-validating the
+  // same codes.
+  DrivePattern drive;
   for (int b = 0; b < params_.input_bits; ++b) {
-    std::size_t active = 0;
     for (std::size_t r = 0; r < array.rows; ++r) {
-      const std::uint64_t bit =
-          r < in_dim_ ? ((codes[r] >> b) & 1ULL) : 0ULL;
-      row_codes[r] = bit;
-      active += bit;
+      row_codes[r] = r < in_dim_ ? ((codes[r] >> b) & 1ULL) : 0ULL;
     }
+    if (Status status = PrepareDrive(array.dac, row_codes, &drive);
+        !status.ok()) {
+      return status;
+    }
+    const std::size_t active = drive.active;
     const double attenuation = IrAttenuation(array, active);
-    const double bit_weight = std::pow(2.0, b);
+    const double bit_weight = Pow2(b);
 
     double cycle_latency = 0.0;
     for (int s = 0; s < params_.slices(); ++s) {
       const double slice_weight =
-          bit_weight * std::pow(2.0, s * cell_bits);
+          bit_weight * slice_pow_[static_cast<std::size_t>(s)];
       for (int plane = 0; plane < 2; ++plane) {
         Crossbar& xbar =
             plane == 0 ? positive_planes_[s] : negative_planes_[s];
-        auto cycle = xbar.Cycle(row_codes, sense_cols, noise_rng);
+        auto cycle = xbar.CycleDriven(drive, sense_cols, noise_rng);
         if (!cycle.ok()) return cycle.status();
         // All (slice, plane) arrays fire in parallel within the bit cycle.
         cycle_latency = std::max(cycle_latency, cycle->cost.latency_ns);
@@ -391,7 +411,8 @@ double MvmEngine::GuardThreshold(double sum_x_codes) const {
          (rho * column_mix * w_rms + 0.5 * s * sum_x_codes);
 }
 
-Expected<MvmResult> MvmEngine::ComputeTranspose(std::span<const double> e) {
+Expected<MvmResult> MvmEngine::ComputeTranspose(std::span<const double> e,
+                                                Rng* noise_rng) {
   if (!programmed_) {
     return FailedPrecondition("ProgramWeights must run before "
                               "ComputeTranspose");
@@ -407,7 +428,6 @@ Expected<MvmResult> MvmEngine::ComputeTranspose(std::span<const double> e) {
   }
 
   const CrossbarParams& array = params_.array;
-  const int cell_bits = array.cell.cell_bits;
   const double v_read = array.dac.v_read;
   const double g_step = (array.cell.g_on_siemens - array.cell.g_off_siemens) /
                         static_cast<double>(array.cell.levels() - 1);
@@ -419,30 +439,35 @@ Expected<MvmResult> MvmEngine::ComputeTranspose(std::span<const double> e) {
   std::vector<double> accum(in_dim_, 0.0);
   std::vector<std::uint64_t> col_codes(array.cols, 0);
 
+  // Same fused bit-sweep as Compute: one drive pattern per (half, bit),
+  // shared across every (slice, plane) array.
+  DrivePattern drive;
   for (int half = 0; half < 2; ++half) {
     const std::vector<std::uint64_t>& codes =
         half == 0 ? pos_codes : neg_codes;
     const double half_sign = half == 0 ? 1.0 : -1.0;
     for (int b = 0; b < params_.input_bits; ++b) {
-      std::size_t active = 0;
       for (std::size_t c = 0; c < array.cols; ++c) {
-        const std::uint64_t bit =
-            c < out_dim_ ? ((codes[c] >> b) & 1ULL) : 0ULL;
-        col_codes[c] = bit;
-        active += bit;
+        col_codes[c] = c < out_dim_ ? ((codes[c] >> b) & 1ULL) : 0ULL;
       }
+      if (Status status = PrepareDrive(array.dac, col_codes, &drive);
+          !status.ok()) {
+        return status;
+      }
+      const std::size_t active = drive.active;
       const double attenuation =
           1.0 - array.ir_drop_alpha * static_cast<double>(active) /
                     static_cast<double>(array.cols);
-      const double bit_weight = std::pow(2.0, b);
+      const double bit_weight = Pow2(b);
 
       double cycle_latency = 0.0;
       for (int s = 0; s < params_.slices(); ++s) {
-        const double slice_weight = bit_weight * std::pow(2.0, s * cell_bits);
+        const double slice_weight =
+            bit_weight * slice_pow_[static_cast<std::size_t>(s)];
         for (int plane = 0; plane < 2; ++plane) {
           Crossbar& xbar =
               plane == 0 ? positive_planes_[s] : negative_planes_[s];
-          auto cycle = xbar.CycleTranspose(col_codes, in_dim_);
+          auto cycle = xbar.CycleTransposeDriven(drive, in_dim_, noise_rng);
           if (!cycle.ok()) return cycle.status();
           cycle_latency = std::max(cycle_latency, cycle->cost.latency_ns);
           result.cost.energy_pj += cycle->cost.energy_pj;
@@ -551,7 +576,7 @@ double MvmEngine::AdcErrorBound() const {
   const int cell_bits = array.cell.cell_bits;
   for (int b = 0; b < params_.input_bits; ++b) {
     for (int s = 0; s < params_.slices(); ++s) {
-      weight_sum += 2.0 * std::pow(2.0, b + s * cell_bits);  // two planes
+      weight_sum += 2.0 * Pow2(b + s * cell_bits);  // two planes
     }
   }
   const auto max_w_code =

@@ -113,9 +113,12 @@ class MvmEngine {
   // Transpose (backward) product g = W e using the crossbar's
   // bidirectionality — the in-situ backpropagation path. The error vector
   // `e` (out_dim entries) may be signed: it is split into positive and
-  // negative passes, costing 2x the cycles of a forward MVM.
+  // negative passes, costing 2x the cycles of a forward MVM. `noise_rng`
+  // carries the same contract as in Compute: with an external stream the
+  // call mutates no engine state, so the backward path is safe to run
+  // concurrently with itself or with forward Computes.
   [[nodiscard]] Expected<MvmResult> ComputeTranspose(
-      std::span<const double> e);
+      std::span<const double> e, Rng* noise_rng = nullptr);
 
   // Exact product of the *quantized* weights with the *quantized* input —
   // the golden reference that isolates analog error from quantization.
@@ -171,6 +174,9 @@ class MvmEngine {
   std::vector<std::int64_t> weight_codes_;  // in_dim x out_dim, row-major
   std::vector<std::int64_t> guard_codes_;   // in_dim row sums / guard_scale_
   std::int64_t guard_scale_ = 0;
+  // slice_pow_[s] = 2^(s * cell_bits), hoisted out of the per-cycle
+  // shift-and-add (these used to be std::pow calls in the hot loop).
+  std::vector<double> slice_pow_;
   bool programmed_ = false;
 };
 

@@ -39,7 +39,7 @@ class AreaModel {
         std::ceil(static_cast<double>(dpe_.array.cols) /
                   static_cast<double>(dpe_.array.columns_per_adc)) *
         area_.adc_area_um2 *
-        std::pow(2.0, dpe_.array.adc.bits - area_.adc_reference_bits);
+        std::ldexp(1.0, dpe_.array.adc.bits - area_.adc_reference_bits);
     const double dacs = static_cast<double>(dpe_.array.rows) *
                         area_.dac_area_per_row_um2;
     return crossbar + adcs + dacs + area_.shift_add_area_um2 +

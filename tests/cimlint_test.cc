@@ -328,6 +328,49 @@ TEST(DiscardedStatusRule, AllowDiscardMarkerSuppresses) {
   EXPECT_TRUE(RuleFindings(LintFiles(files), "discarded-status").empty());
 }
 
+// ---------------------------------------------------------------------------
+// pow2-in-hot-path
+// ---------------------------------------------------------------------------
+
+TEST(Pow2InHotPathRule, FiresOnPow2InModelCode) {
+  const Files files = {{"src/model.cc",
+                        "double A(int b) { return std::pow(2.0, b); }\n"
+                        "double B(int b) { return std::pow(2, b); }\n"
+                        "double C(int b) { return std :: pow( 2.0 , b); }\n"}};
+  const auto findings = RuleFindings(LintFiles(files), "pow2-in-hot-path");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].line, 1u);
+}
+
+TEST(Pow2InHotPathRule, SkipsOtherBasesAndNonSrcCode) {
+  const Files files = {
+      {"src/model.cc",
+       "double A(double x) { return std::pow(x, 2.0); }\n"     // base is x
+       "double B(int k) { return std::pow(4.0, k); }\n"        // base 4
+       "double C(double t) { return std::pow(20.0, t); }\n"    // base 20
+       "double D(double t) { return std::pow(2.5, t); }\n"     // base 2.5
+       "double E(int n) { return std::ldexp(1.0, n); }\n"},
+      {"bench/bench_sweep.cc",
+       "double W(int b) { return std::pow(2.0, b); }\n"},
+      {"tests/sweep_test.cc",
+       "double W(int b) { return std::pow(2.0, b); }\n"},
+      {"examples/demo.cc",
+       "double W(int b) { return std::pow(2.0, b); }\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "pow2-in-hot-path").empty());
+}
+
+TEST(Pow2InHotPathRule, AllowPow2MarkerSuppresses) {
+  const Files files = {
+      {"src/model.cc",
+       "// genuinely non-integer exponent. cimlint: allow-pow2\n"
+       "double A(double s) { return std::pow(2.0, s - 1.0); }\n"
+       "double B(double s) { return std::pow(2.0, s); }  "
+       "// cimlint: allow-pow2\n"
+       "double C(double s) { return std::pow(2.0, s); }  "
+       "// cimlint: allow(pow2-in-hot-path)\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "pow2-in-hot-path").empty());
+}
+
 TEST(CollectStatusFunctions, FindsDeclarationsAndFiltersAmbiguity) {
   const Files files = {
       {"src/a.h",

@@ -361,6 +361,31 @@ void CheckDiscardedStatus(const SourceFile& file, const StrippedFile& stripped,
   }
 }
 
+void CheckPow2InHotPath(const SourceFile& file, const StrippedFile& stripped,
+                        std::vector<Finding>& findings) {
+  // Model code only: std::pow(2.0, integer) is an exact shift wearing a
+  // libm costume, and the analog cycle / shift-and-add loops it showed up
+  // in are the hottest code in the repo. bench/, examples/ and tests/ keep
+  // their freedom. Non-integer exponents stay legitimate via the
+  // `// cimlint: allow-pow2` escape.
+  if (file.repo_path.rfind("src/", 0) != 0) return;
+  static const std::regex kPow2(R"(\bstd\s*::\s*pow\s*\(\s*2(\.0*f?)?\s*,)");
+  auto pow2_allowed = [&](std::size_t i) {
+    static constexpr std::string_view kMarker = "cimlint: allow-pow2";
+    if (stripped.comments[i].find(kMarker) != std::string::npos) return true;
+    return i > 0 &&
+           stripped.comments[i - 1].find(kMarker) != std::string::npos;
+  };
+  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
+    if (!std::regex_search(stripped.code[i], kPow2)) continue;
+    if (pow2_allowed(i)) continue;
+    Report(findings, file, stripped, i, "pow2-in-hot-path",
+           "std::pow(2, ...) in model code; use a shift-derived constant or "
+           "std::ldexp(1.0, n), or justify a non-integer exponent with "
+           "`// cimlint: allow-pow2`");
+  }
+}
+
 }  // namespace
 
 std::set<std::string> CollectStatusFunctions(
@@ -432,6 +457,7 @@ std::vector<Finding> LintFile(const SourceFile& file,
   CheckBannedFunctions(file, stripped, findings);
   CheckUnusedStatus(file, stripped, status_functions, findings);
   CheckDiscardedStatus(file, stripped, status_functions, findings);
+  CheckPow2InHotPath(file, stripped, findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);

@@ -50,6 +50,15 @@
 //                          or previous line. Test code exercises failure
 //                          paths deliberately, so tests/ and *_test.cc are
 //                          out of scope.
+//   pow2-in-hot-path       `std::pow(2, ...)` / `std::pow(2.0, ...)` in
+//                          model code (src/). Integer powers of two are
+//                          exact shifts (or std::ldexp for negative
+//                          exponents) — a libm call in the analog cycle /
+//                          shift-and-add hot loops is measurable overhead.
+//                          A genuinely non-integer exponent is justified
+//                          with `// cimlint: allow-pow2` on the same or
+//                          previous line. bench/, examples/ and tests/ are
+//                          out of scope.
 #pragma once
 
 #include <filesystem>
