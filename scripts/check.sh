@@ -7,14 +7,41 @@
 #   scripts/check.sh                 # relwithdebinfo (the tier-1 gate)
 #   scripts/check.sh asan-ubsan      # sanitizer matrix leg
 #   scripts/check.sh all             # every CI leg in sequence
+#   scripts/check.sh --lint-only     # cimlint diff-baseline gate, nothing else
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# The cimlint diff-baseline gate: new findings fail, individually justified
+# ones (tools/cimlint/baseline.json) pass, stale entries fail. Builds only
+# the linter, so it runs in seconds and fronts the expensive build legs.
+run_lint() {
+  local preset="${1:-relwithdebinfo}"
+  local build_dir="build/$preset"
+  if [[ ! -x "$build_dir/tools/cimlint/cimlint" ]]; then
+    if [[ -d "$build_dir" ]]; then
+      cmake --build --preset "$preset" --target cimlint -j "$(nproc)"
+    else
+      # No preset tree yet: lint-only configure, which skips find_package
+      # for gtest/benchmark — the gate runs on a machine with only cmake.
+      build_dir="build/lint"
+      cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
+            -DCIM_LINT_ONLY=ON >/dev/null
+      cmake --build "$build_dir" --target cimlint -j "$(nproc)"
+    fi
+  fi
+  echo "==> [$preset] cimlint (diff-baseline)"
+  "$build_dir/tools/cimlint/cimlint" --root . --diff-baseline \
+      src bench examples tests tools
+}
 
 run_preset() {
   local preset="$1"
   echo "==> [$preset] configure"
   cmake --preset "$preset"
+  # Lint before the full build: a layering or determinism finding should
+  # fail the run before minutes of compiling.
+  run_lint "$preset"
   echo "==> [$preset] build"
   cmake --build --preset "$preset" -j "$(nproc)"
   if [[ "$preset" == "werror" ]]; then
@@ -32,8 +59,6 @@ run_preset() {
   fi
   echo "==> [$preset] ctest"
   ctest --preset "$preset"
-  echo "==> [$preset] cimlint"
-  "./build/$preset/tools/cimlint/cimlint" --root . src bench examples tests
   if [[ "$preset" == "relwithdebinfo" ]]; then
     run_fault_determinism_gate "$preset"
     run_perf_gate "$preset"
@@ -91,6 +116,11 @@ run_clang_tidy() {
 
 target="${1:-relwithdebinfo}"
 case "$target" in
+  --lint-only)
+    run_lint relwithdebinfo
+    echo "==> lint gate passed"
+    exit 0
+    ;;
   all)
     run_preset relwithdebinfo
     run_preset asan-ubsan

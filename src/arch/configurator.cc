@@ -33,7 +33,7 @@ Status Configurator::Validate(Fabric& fabric, const FabricConfig& config) {
     if (auto tile = fabric.TileAt(entry.node); !tile.ok()) {
       return tile.status();
     }
-    if (entry.partition == security::PartitionManager::kUnassigned) {
+    if (entry.partition == noc::PartitionManager::kUnassigned) {
       return InvalidArgument("partition 0 is reserved for 'unassigned'");
     }
   }

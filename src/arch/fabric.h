@@ -20,9 +20,9 @@
 
 #include "arch/micro_unit.h"
 #include "common/event_queue.h"
+#include "noc/link_cipher.h"
 #include "noc/mesh.h"
-#include "security/cipher.h"
-#include "security/partition.h"
+#include "noc/partition.h"
 
 namespace cim::arch {
 
@@ -98,9 +98,7 @@ class Fabric {
   [[nodiscard]] EventQueue& queue() { return queue_; }
   [[nodiscard]] noc::MeshNoc& noc() { return *noc_; }
   [[nodiscard]] const FabricParams& params() const { return params_; }
-  [[nodiscard]] security::PartitionManager& partitions() {
-    return partitions_;
-  }
+  [[nodiscard]] noc::PartitionManager& partitions() { return partitions_; }
 
   [[nodiscard]] Expected<Tile*> TileAt(noc::NodeId node);
 
@@ -167,8 +165,8 @@ class Fabric {
   EventQueue queue_;
   std::unique_ptr<noc::MeshNoc> noc_;
   std::vector<Tile> tiles_;
-  security::PartitionManager partitions_;
-  security::StreamCipher cipher_;
+  noc::PartitionManager partitions_;
+  noc::StreamCipher cipher_;
   std::map<std::uint64_t, StreamConfig> streams_;
   std::map<std::uint64_t, StreamStats> stats_;
   std::uint64_t next_packet_id_ = 1;

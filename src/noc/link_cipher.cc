@@ -1,6 +1,6 @@
-#include "security/cipher.h"
+#include "noc/link_cipher.h"
 
-namespace cim::security {
+namespace cim::noc {
 
 CostReport StreamCipher::Apply(std::span<std::uint8_t> data,
                                std::uint64_t nonce) const {
@@ -41,4 +41,4 @@ std::uint32_t StreamCipher::Tag(std::span<const std::uint8_t> data,
   return static_cast<std::uint32_t>(h ^ (h >> 32));
 }
 
-}  // namespace cim::security
+}  // namespace cim::noc

@@ -1,0 +1,58 @@
+// Packet-in-flight encryption and authentication (§IV.A).
+//
+// This is a *link-layer* primitive: it operates on packet payload bytes as
+// they cross the mesh, so it lives in the NoC layer (the security module
+// re-exports it for policy-level code — see src/security/cipher.h and
+// tools/cimlint/layers.txt for the layering rationale).
+//
+// SIMULATION NOTE: this models the *cost and plumbing* of link encryption —
+// keystream XOR plus a keyed tag — not cryptographic strength. The keystream
+// is xoshiro-based and the MAC is a keyed FNV-1a variant; both are
+// deterministic, fast, and good enough to demonstrate that tampered or
+// differently-keyed traffic is rejected in the simulator. A real system
+// would use AES-GCM; the per-byte costs below are in that class.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace cim::noc {
+
+struct CipherCosts {
+  // AES-GCM-class hardware pipeline costs.
+  EnergyPj energy_per_byte{0.05};
+  TimeNs latency_per_byte{0.0625};  // 16 B/cycle at 1 GHz
+  TimeNs fixed_latency{10.0};       // key schedule / tag finalization
+};
+
+class StreamCipher {
+ public:
+  StreamCipher(std::uint64_t key, CipherCosts costs = {})
+      : key_(key), costs_(costs) {}
+
+  // XOR the buffer with the (key, nonce) keystream, in place. Encryption
+  // and decryption are the same operation. Returns the cost of the pass.
+  CostReport Apply(std::span<std::uint8_t> data, std::uint64_t nonce) const;
+
+  // Keyed authentication tag over the buffer.
+  [[nodiscard]] std::uint32_t Tag(std::span<const std::uint8_t> data,
+                                  std::uint64_t nonce) const;
+
+  [[nodiscard]] bool Verify(std::span<const std::uint8_t> data,
+                            std::uint64_t nonce, std::uint32_t tag) const {
+    return Tag(data, nonce) == tag;
+  }
+
+  [[nodiscard]] const CipherCosts& costs() const { return costs_; }
+
+ private:
+  std::uint64_t key_;
+  CipherCosts costs_;
+};
+
+}  // namespace cim::noc

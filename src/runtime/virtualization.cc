@@ -77,8 +77,7 @@ Status VirtualizationManager::Destroy(const std::string& name) {
   if (it == functions_.end()) return NotFound("function");
   for (noc::NodeId tile : it->second.tiles) {
     free_.push_back(tile);
-    fabric_->partitions().Assign(tile,
-                                 security::PartitionManager::kUnassigned);
+    fabric_->partitions().Assign(tile, noc::PartitionManager::kUnassigned);
   }
   functions_.erase(it);
   specs_.erase(name);

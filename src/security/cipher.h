@@ -1,53 +1,18 @@
-// Packet-in-flight encryption and authentication (§IV.A).
+// Packet-in-flight encryption and authentication (§IV.A) — policy-facing
+// re-export.
 //
-// SIMULATION NOTE: this models the *cost and plumbing* of link encryption —
-// keystream XOR plus a keyed tag — not cryptographic strength. The keystream
-// is xoshiro-based and the MAC is a keyed FNV-1a variant; both are
-// deterministic, fast, and good enough to demonstrate that tampered or
-// differently-keyed traffic is rejected in the simulator. A real system
-// would use AES-GCM; the per-byte costs below are in that class.
+// The mechanism is a link-layer primitive operating on packet payload bytes,
+// so the implementation lives one layer down in src/noc/link_cipher.h (see
+// tools/cimlint/layers.txt: security sits above the fabric layers and may
+// not be included by them). Security-policy code and tests keep addressing
+// it under the cim::security name via these aliases.
 #pragma once
 
-#include <cstdint>
-#include <span>
-#include <vector>
-
-#include "common/rng.h"
-#include "common/stats.h"
-#include "common/units.h"
+#include "noc/link_cipher.h"
 
 namespace cim::security {
 
-struct CipherCosts {
-  // AES-GCM-class hardware pipeline costs.
-  EnergyPj energy_per_byte{0.05};
-  TimeNs latency_per_byte{0.0625};  // 16 B/cycle at 1 GHz
-  TimeNs fixed_latency{10.0};       // key schedule / tag finalization
-};
-
-class StreamCipher {
- public:
-  StreamCipher(std::uint64_t key, CipherCosts costs = {})
-      : key_(key), costs_(costs) {}
-
-  // XOR the buffer with the (key, nonce) keystream, in place. Encryption
-  // and decryption are the same operation. Returns the cost of the pass.
-  CostReport Apply(std::span<std::uint8_t> data, std::uint64_t nonce) const;
-
-  // Keyed authentication tag over the buffer.
-  [[nodiscard]] std::uint32_t Tag(std::span<const std::uint8_t> data,
-                                  std::uint64_t nonce) const;
-
-  [[nodiscard]] bool Verify(std::span<const std::uint8_t> data,
-                            std::uint64_t nonce, std::uint32_t tag) const {
-    return Tag(data, nonce) == tag;
-  }
-
-  [[nodiscard]] const CipherCosts& costs() const { return costs_; }
-
- private:
-  std::uint64_t key_;
-  CipherCosts costs_;
-};
+using CipherCosts = noc::CipherCosts;
+using StreamCipher = noc::StreamCipher;
 
 }  // namespace cim::security

@@ -1,66 +1,17 @@
-// Partition isolation (§IV.B "dynamic hardware isolation"): CIM nodes are
-// assigned to partitions and cross-partition traffic is denied unless an
-// explicit flow was granted — the NFV-style slicing the paper describes.
+// Partition isolation (§IV.B "dynamic hardware isolation") — policy-facing
+// re-export.
+//
+// Admission is enforced where packets are injected, so the mechanism lives
+// one layer down in src/noc/partition.h (see tools/cimlint/layers.txt:
+// security sits above the fabric layers and may not be included by them).
+// Security-policy code and tests keep addressing it under the cim::security
+// name via this alias.
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <set>
-#include <utility>
-
-#include "common/status.h"
-#include "noc/packet.h"
+#include "noc/partition.h"
 
 namespace cim::security {
 
-class PartitionManager {
- public:
-  static constexpr std::uint32_t kUnassigned = 0;
-
-  // Assign a node to a partition (> 0). Reassignment is allowed — dynamic
-  // isolation means partitions can change at runtime.
-  void Assign(noc::NodeId node, std::uint32_t partition) {
-    assignments_[Key(node)] = partition;
-  }
-
-  [[nodiscard]] std::uint32_t PartitionOf(noc::NodeId node) const {
-    const auto it = assignments_.find(Key(node));
-    return it == assignments_.end() ? kUnassigned : it->second;
-  }
-
-  // Permit traffic from partition `from` to partition `to`.
-  void GrantFlow(std::uint32_t from, std::uint32_t to) {
-    allowed_flows_.insert({from, to});
-  }
-  void RevokeFlow(std::uint32_t from, std::uint32_t to) {
-    allowed_flows_.erase({from, to});
-  }
-
-  // Admission check for a packet: same-partition traffic always passes;
-  // cross-partition traffic requires a granted flow; unassigned nodes are
-  // denied (fail-closed).
-  [[nodiscard]] Status Admit(const noc::Packet& packet) const {
-    const std::uint32_t src = PartitionOf(packet.source);
-    const std::uint32_t dst = PartitionOf(packet.destination);
-    if (src == kUnassigned || dst == kUnassigned) {
-      return PermissionDenied("endpoint not assigned to a partition");
-    }
-    if (src == dst) return Status::Ok();
-    if (allowed_flows_.contains({src, dst})) return Status::Ok();
-    return PermissionDenied("cross-partition flow not granted");
-  }
-
-  [[nodiscard]] std::size_t assigned_nodes() const {
-    return assignments_.size();
-  }
-
- private:
-  static std::uint32_t Key(noc::NodeId node) {
-    return (static_cast<std::uint32_t>(node.y) << 16) | node.x;
-  }
-
-  std::map<std::uint32_t, std::uint32_t> assignments_;
-  std::set<std::pair<std::uint32_t, std::uint32_t>> allowed_flows_;
-};
+using PartitionManager = noc::PartitionManager;
 
 }  // namespace cim::security

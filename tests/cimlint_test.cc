@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -398,13 +400,517 @@ TEST(Suppression, AllowFileCoversEveryOccurrence) {
   EXPECT_TRUE(RuleFindings(LintFiles(files), "raw-rng").empty());
 }
 
+// ---------------------------------------------------------------------------
+// Strip hardening: raw strings with custom delimiters and encoding prefixes
+// must not desynchronize the scanner (contents are invisible to rules, code
+// after the literal is still linted).
+// ---------------------------------------------------------------------------
+
+TEST(StripRawStrings, CustomDelimitersAndEncodingPrefixes) {
+  const Files files = {{"src/strings.cc",
+                        "const char* a = R\"x(std::mt19937 inside)x\";\n"
+                        "const char* b = u8R\"(std::thread inside)\";\n"
+                        "const char* c = LR\"y(srand(1) inside)y\";\n"
+                        "const char* d = uR\"(rand() inside)\";\n"
+                        "const char* e = UR\"(std::async inside)\";\n"
+                        "std::mt19937 real;\n"}};
+  const auto findings = LintFiles(files);
+  const auto rng = RuleFindings(findings, "raw-rng");
+  ASSERT_EQ(rng.size(), 1u);  // only the declaration after the raw strings
+  EXPECT_EQ(rng[0].line, 6u);
+  EXPECT_TRUE(RuleFindings(findings, "raw-thread").empty());
+}
+
+TEST(StripRawStrings, MultiLineRawStringKeepsLineNumbers) {
+  const Files files = {{"src/strings.cc",
+                        "const char* sql = R\"q(\n"
+                        "  std::random_device inside line 2\n"
+                        "  )not_the_end\" still inside\n"
+                        ")q\";\n"
+                        "std::random_device real;\n"}};
+  const auto rng = RuleFindings(LintFiles(files), "raw-rng");
+  ASSERT_EQ(rng.size(), 1u);
+  EXPECT_EQ(rng[0].line, 5u);
+}
+
+TEST(StripRawStrings, IdentifierEndingInRIsNotARawString) {
+  const Files files = {{"src/strings.cc",
+                        "int ProcessR(const char* s);\n"
+                        "int x = ProcessR(\"std::mt19937 in a string\");\n"
+                        "std::mt19937 real;\n"}};
+  const auto rng = RuleFindings(LintFiles(files), "raw-rng");
+  ASSERT_EQ(rng.size(), 1u);
+  EXPECT_EQ(rng[0].line, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Pass A: layering spec parsing and include-graph checks
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] LayerSpec SpecOf(const std::string& text) {
+  LayerSpec spec;
+  std::string error;
+  EXPECT_TRUE(ParseLayerSpec(text, &spec, &error)) << error;
+  return spec;
+}
+
+TEST(LayerSpecParse, LayersCommentsAndLayerOf) {
+  const LayerSpec spec = SpecOf(
+      "# bottom first\n"
+      "layer common\n"
+      "\n"
+      "layer device noc  # same layer\n"
+      "layer runtime\n");
+  ASSERT_EQ(spec.layers.size(), 3u);
+  EXPECT_EQ(spec.LayerOf("common"), 0);
+  EXPECT_EQ(spec.LayerOf("device"), 1);
+  EXPECT_EQ(spec.LayerOf("noc"), 1);
+  EXPECT_EQ(spec.LayerOf("runtime"), 2);
+  EXPECT_EQ(spec.LayerOf("mystery"), -1);
+}
+
+TEST(LayerSpecParse, RejectsBadDirectiveDuplicateAndEmpty) {
+  LayerSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseLayerSpec("tier common\n", &spec, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(ParseLayerSpec("layer a\nlayer b a\n", &spec, &error));
+  EXPECT_NE(error.find("'a' declared twice"), std::string::npos);
+  EXPECT_FALSE(ParseLayerSpec("layer\n", &spec, &error));
+  EXPECT_FALSE(ParseLayerSpec("# only comments\n", &spec, &error));
+}
+
+TEST(Layering, FlagsUpwardIncludePerSite) {
+  const LayerSpec spec = SpecOf("layer low\nlayer high\n");
+  const Files files = {
+      {"src/high/api.h", "#pragma once\nint Api();\n"},
+      {"src/low/impl.cc", "#include \"high/api.h\"\nint x;\n"}};
+  const auto findings =
+      RuleFindings(LintFiles(files, &spec), "layer-upward-include");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/low/impl.cc");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[0].key, "high/api.h");
+}
+
+TEST(Layering, AllowsDownwardSameLayerAndSelfIncludes) {
+  const LayerSpec spec = SpecOf("layer low\nlayer mid1 mid2\nlayer high\n");
+  const Files files = {
+      {"src/low/base.h", "#pragma once\nint B();\n"},
+      {"src/mid1/a.h", "#pragma once\n#include \"low/base.h\"\n"},
+      {"src/mid2/b.h",
+       "#pragma once\n#include \"mid1/a.h\"\n#include \"mid2/other.h\"\n"},
+      {"src/mid2/other.h", "#pragma once\n"},
+      {"src/high/top.cc",
+       "#include \"mid2/b.h\"\n#include \"low/base.h\"\n"}};
+  const auto findings = LintFiles(files, &spec);
+  EXPECT_TRUE(RuleFindings(findings, "layer-upward-include").empty());
+  EXPECT_TRUE(RuleFindings(findings, "layer-cycle").empty());
+  EXPECT_TRUE(RuleFindings(findings, "layer-unknown-module").empty());
+}
+
+TEST(Layering, FlagsEveryEdgeOfACycle) {
+  const LayerSpec spec = SpecOf("layer a b\n");
+  const Files files = {
+      {"src/a/x.h", "#pragma once\n#include \"b/y.h\"\n"},
+      {"src/b/y.h", "#pragma once\n#include \"a/x.h\"\n"}};
+  const auto findings = RuleFindings(LintFiles(files, &spec), "layer-cycle");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].key, "a->b");
+  EXPECT_EQ(findings[1].key, "b->a");
+}
+
+TEST(Layering, FlagsModuleMissingFromSpec) {
+  const LayerSpec spec = SpecOf("layer known\n");
+  const Files files = {{"src/mystery/z.h", "#pragma once\nint Z();\n"}};
+  const auto findings =
+      RuleFindings(LintFiles(files, &spec), "layer-unknown-module");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].key, "mystery");
+  EXPECT_EQ(findings[0].file, "src/mystery/z.h");
+}
+
+TEST(Layering, SuppressibleAtTheIncludeSite) {
+  const LayerSpec spec = SpecOf("layer low\nlayer high\n");
+  const Files files = {
+      {"src/high/api.h", "#pragma once\nint Api();\n"},
+      {"src/low/impl.cc",
+       "#include \"high/api.h\"  // cimlint: allow(layer-upward-include)\n"}};
+  const auto findings = LintFiles(files, &spec);
+  EXPECT_TRUE(RuleFindings(findings, "layer-upward-include").empty());
+  EXPECT_TRUE(RuleFindings(findings, "stale-suppression").empty());
+}
+
+TEST(Layering, IgnoresCommentedOutIncludes) {
+  const LayerSpec spec = SpecOf("layer low\nlayer high\n");
+  const Files files = {
+      {"src/high/api.h", "#pragma once\nint Api();\n"},
+      {"src/low/impl.cc", "// #include \"high/api.h\"\nint x;\n"}};
+  EXPECT_TRUE(
+      RuleFindings(LintFiles(files, &spec), "layer-upward-include").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Pass B: determinism & concurrency rules
+// ---------------------------------------------------------------------------
+
+TEST(NestedParallelRule, FiresOnSyntacticNesting) {
+  const Files files = {{"src/par.cc",
+                        "void F(cim::ThreadPool& pool) {\n"
+                        "  pool.ParallelFor(8, [&](std::size_t i) {\n"
+                        "    pool.ParallelFor(4, [&](std::size_t j) {});\n"
+                        "  });\n"
+                        "}\n"}};
+  const auto findings =
+      RuleFindings(LintFiles(files), "nested-parallel-region");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_EQ(findings[0].key, "ParallelFor");
+}
+
+TEST(NestedParallelRule, FiresOnSubmitInsideParallelFor) {
+  const Files files = {{"src/par.cc",
+                        "void F(cim::ThreadPool& pool) {\n"
+                        "  pool.ParallelFor(8, [&](std::size_t i) {\n"
+                        "    pool.Submit([] {});\n"
+                        "  });\n"
+                        "}\n"}};
+  EXPECT_EQ(RuleFindings(LintFiles(files), "nested-parallel-region").size(),
+            1u);
+}
+
+TEST(NestedParallelRule, CleanOnSequentialRegionsAndNonSrc) {
+  const Files files = {
+      {"src/par.cc",
+       "void F(cim::ThreadPool& pool) {\n"
+       "  pool.ParallelFor(8, [](std::size_t) {});\n"
+       "  pool.ParallelFor(4, [](std::size_t) {});\n"
+       "}\n"},
+      {"bench/par.cc",
+       "void F(cim::ThreadPool& p) {\n"
+       "  p.ParallelFor(8, [&](std::size_t) { p.Submit([] {}); });\n"
+       "}\n"}};
+  EXPECT_TRUE(
+      RuleFindings(LintFiles(files), "nested-parallel-region").empty());
+}
+
+TEST(ThreadLocalInParallelRule, FiresOnDeclInsideRegion) {
+  const Files files = {{"src/par.cc",
+                        "void F(cim::ThreadPool& pool) {\n"
+                        "  pool.ParallelFor(8, [&](std::size_t i) {\n"
+                        "    thread_local std::vector<double> buf;\n"
+                        "    buf.clear();\n"
+                        "  });\n"
+                        "}\n"}};
+  const auto findings =
+      RuleFindings(LintFiles(files), "thread-local-in-parallel");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(ThreadLocalInParallelRule, FiresOnWriteToOutsideThreadLocal) {
+  const Files files = {{"src/par.cc",
+                        "thread_local double acc = 0.0;\n"
+                        "void F(cim::ThreadPool& pool) {\n"
+                        "  pool.ParallelFor(8, [&](std::size_t i) {\n"
+                        "    acc += 1.0;\n"
+                        "  });\n"
+                        "}\n"}};
+  const auto findings =
+      RuleFindings(LintFiles(files), "thread-local-in-parallel");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4u);
+  EXPECT_EQ(findings[0].key, "acc");
+}
+
+TEST(ThreadLocalInParallelRule, ScratchBufferIdiomInCalleeIsClean) {
+  const Files files = {{"src/par.cc",
+                        "void Kernel() {\n"
+                        "  thread_local std::vector<double> scratch;\n"
+                        "  scratch.clear();\n"
+                        "}\n"
+                        "void F(cim::ThreadPool& pool) {\n"
+                        "  pool.ParallelFor(8, [](std::size_t) { Kernel(); });\n"
+                        "}\n"}};
+  EXPECT_TRUE(
+      RuleFindings(LintFiles(files), "thread-local-in-parallel").empty());
+}
+
+TEST(NondeterministicSeedRule, FiresOnWallClockAndAddressSeeds) {
+  const Files files = {{"src/seed.cc",
+                        "void F(cim::Rng& rng, Obj* o) {\n"
+                        "  std::uint64_t seed = Mix(std::chrono::steady_clock::now());\n"
+                        "  rng.Seed(reinterpret_cast<std::uintptr_t>(o));\n"
+                        "  std::uint64_t s2 = seed ^ time(nullptr);\n"
+                        "}\n"}};
+  const auto findings =
+      RuleFindings(LintFiles(files), "nondeterministic-seed");
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(NondeterministicSeedRule, TimingInstrumentationIsClean) {
+  const Files files = {{"src/timing.cc",
+                        "void F() {\n"
+                        "  const auto start = std::chrono::steady_clock::now();\n"
+                        "  Work();\n"
+                        "  const auto stop = std::chrono::steady_clock::now();\n"
+                        "  Record(stop - start);\n"
+                        "}\n"
+                        "void G(cim::Rng& rng) { rng.Seed(42); }\n"}};
+  EXPECT_TRUE(
+      RuleFindings(LintFiles(files), "nondeterministic-seed").empty());
+}
+
+TEST(UnorderedIterationRule, FiresOnAccumulationAcrossUnorderedOrder) {
+  const Files files = {{"src/agg.cc",
+                        "#include <unordered_map>\n"
+                        "double Total(const std::unordered_map<int, double>& "
+                        "weights) {\n"
+                        "  double total = 0.0;\n"
+                        "  for (const auto& [key, w] : weights) {\n"
+                        "    total += w;\n"
+                        "  }\n"
+                        "  return total;\n"
+                        "}\n"}};
+  const auto findings = RuleFindings(LintFiles(files), "unordered-iteration");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 5u);
+  EXPECT_EQ(findings[0].key, "weights");
+}
+
+TEST(UnorderedIterationRule, FiresOnAppendToOuterContainer) {
+  const Files files = {{"src/agg.cc",
+                        "#include <unordered_set>\n"
+                        "void Collect(const std::unordered_set<int>& ids,\n"
+                        "             std::vector<int>* out) {\n"
+                        "  for (int id : ids) {\n"
+                        "    out->push_back(id);\n"
+                        "  }\n"
+                        "}\n"}};
+  EXPECT_EQ(RuleFindings(LintFiles(files), "unordered-iteration").size(), 1u);
+}
+
+TEST(UnorderedIterationRule, CleanCases) {
+  const Files files = {
+      // std::map iterates in key order.
+      {"src/a.cc",
+       "#include <map>\n"
+       "double Total(const std::map<int, double>& w) {\n"
+       "  double t = 0.0;\n"
+       "  for (const auto& [k, v] : w) t += v;\n"
+       "  return t;\n"
+       "}\n"},
+      // Writes through the loop variable are per-element.
+      {"src/b.cc",
+       "#include <unordered_map>\n"
+       "void Reset(std::unordered_map<int, double>& w) {\n"
+       "  for (auto& [k, v] : w) v = 0.0;\n"
+       "}\n"},
+      // Body-local state is re-created per element.
+      {"src/c.cc",
+       "#include <unordered_map>\n"
+       "void Check(const std::unordered_map<int, double>& w) {\n"
+       "  for (const auto& [k, v] : w) {\n"
+       "    double scaled = v * 2.0;\n"
+       "    Validate(scaled);\n"
+       "  }\n"
+       "}\n"},
+      // tests/ and bench/ are out of scope.
+      {"tests/d_test.cc",
+       "#include <unordered_map>\n"
+       "double T(const std::unordered_map<int, double>& w) {\n"
+       "  double t = 0.0;\n"
+       "  for (const auto& [k, v] : w) t += v;\n"
+       "  return t;\n"
+       "}\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "unordered-iteration").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Stale suppressions
+// ---------------------------------------------------------------------------
+
+TEST(StaleSuppression, FlagsUnusedAllowComments) {
+  const Files files = {{"src/ok.cc",
+                        "// cimlint: allow(raw-rng)\n"
+                        "int x = 1;\n"
+                        "int y = 2;  // cimlint: allow-discard\n"}};
+  const auto findings = RuleFindings(LintFiles(files), "stale-suppression");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[0].key, "allow(raw-rng)");
+  EXPECT_EQ(findings[1].line, 3u);
+  EXPECT_EQ(findings[1].key, "allow-discard");
+}
+
+TEST(StaleSuppression, QuietWhenSuppressionIsConsumed) {
+  const Files files = {{"src/noise.cc",
+                        "// cimlint: allow(raw-rng)\n"
+                        "std::mt19937 legacy;\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "stale-suppression").empty());
+}
+
+TEST(StaleSuppression, DocumentationMentionsAreNotSuppressions) {
+  const Files files = {{"src/doc.cc",
+                        "// See `cimlint: allow(raw-rng)` for the syntax.\n"
+                        "// Justify with `// cimlint: allow-discard` instead.\n"
+                        "int x = 1;\n"}};
+  EXPECT_TRUE(RuleFindings(LintFiles(files), "stale-suppression").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Pass C: baseline parsing, diffing, and the emitters
+// ---------------------------------------------------------------------------
+
+TEST(Baseline, ParsesWhatWriteBaselineEmits) {
+  const std::vector<Finding> findings = {
+      {"src/a.cc", 3, "raw-rng", "msg", ""},
+      {"src/a.cc", 9, "raw-rng", "msg", ""},  // same identity: deduped
+      {"src/b.cc", 1, "layer-upward-include", "msg", "high/api.h"}};
+  const std::string json = BaselineJson(findings);
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(ParseBaseline(json, &baseline, &error)) << error;
+  ASSERT_EQ(baseline.entries.size(), 2u);
+  EXPECT_EQ(baseline.entries[0].file, "src/a.cc");
+  EXPECT_EQ(baseline.entries[1].key, "high/api.h");
+  EXPECT_EQ(baseline.entries[1].reason, "TODO: justify");
+}
+
+TEST(Baseline, RejectsMissingReasonAndMalformedJson) {
+  Baseline baseline;
+  std::string error;
+  EXPECT_FALSE(ParseBaseline(
+      R"({"findings": [{"file": "a", "rule": "r", "reason": ""}]})",
+      &baseline, &error));
+  EXPECT_NE(error.find("reason"), std::string::npos);
+  EXPECT_FALSE(ParseBaseline("{nope", &baseline, &error));
+  EXPECT_FALSE(ParseBaseline(R"({"version": 1})", &baseline, &error));
+}
+
+TEST(Baseline, DiffSplitsFreshMatchedAndStale) {
+  Baseline baseline;
+  baseline.entries = {
+      {"src/a.cc", "raw-rng", "", "keyless: matches any key"},
+      {"src/b.cc", "layer-upward-include", "high/api.h", "justified"},
+      {"src/gone.cc", "raw-rng", "", "file was deleted"},
+      {"vendor/x.cc", "raw-rng", "", "outside the scanned tree"}};
+  const std::vector<Finding> findings = {
+      {"src/a.cc", 3, "raw-rng", "msg", "whatever"},
+      {"src/b.cc", 1, "layer-upward-include", "msg", "high/api.h"},
+      {"src/c.cc", 7, "raw-thread", "msg", ""}};
+  const BaselineDiff diff = DiffBaseline(findings, baseline, {"src"});
+  ASSERT_EQ(diff.fresh.size(), 1u);
+  EXPECT_EQ(diff.fresh[0].file, "src/c.cc");
+  ASSERT_EQ(diff.stale.size(), 1u);
+  EXPECT_EQ(diff.stale[0].file, "src/gone.cc");
+}
+
+TEST(Baseline, KeyMismatchIsFresh) {
+  Baseline baseline;
+  baseline.entries = {
+      {"src/b.cc", "layer-upward-include", "high/api.h", "justified"}};
+  const std::vector<Finding> findings = {
+      {"src/b.cc", 1, "layer-upward-include", "msg", "high/other.h"}};
+  const BaselineDiff diff = DiffBaseline(findings, baseline, {"src"});
+  EXPECT_EQ(diff.fresh.size(), 1u);
+  EXPECT_EQ(diff.stale.size(), 1u);
+}
+
+TEST(JsonEmitter, GoldenEmpty) {
+  EXPECT_EQ(ToJson({}),
+            "{\n"
+            "  \"tool\": \"cimlint\",\n"
+            "  \"count\": 0,\n"
+            "  \"findings\": []\n"
+            "}\n");
+}
+
+TEST(JsonEmitter, GoldenSingleFindingWithEscaping) {
+  const std::vector<Finding> findings = {
+      {"src/a.cc", 3, "raw-rng", "say \"hi\"\n", "k"}};
+  EXPECT_EQ(ToJson(findings),
+            "{\n"
+            "  \"tool\": \"cimlint\",\n"
+            "  \"count\": 1,\n"
+            "  \"findings\": [\n"
+            "    {\n"
+            "      \"file\": \"src/a.cc\",\n"
+            "      \"line\": 3,\n"
+            "      \"rule\": \"raw-rng\",\n"
+            "      \"key\": \"k\",\n"
+            "      \"message\": \"say \\\"hi\\\"\\n\"\n"
+            "    }\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(JsonEmitter, OutputIsIndependentOfInputOrder) {
+  const Finding a{"src/a.cc", 3, "raw-rng", "m1", ""};
+  const Finding b{"src/b.cc", 1, "raw-thread", "m2", ""};
+  EXPECT_EQ(ToJson({a, b}), ToJson({b, a}));
+}
+
+TEST(SarifEmitter, SkeletonRuleIndexAndFingerprint) {
+  const std::vector<Finding> findings = {
+      {"src/a.cc", 3, "raw-rng", "msg", "k"}};
+  const std::string out = ToSarif(findings);
+  EXPECT_NE(out.find("\"$schema\": "
+                     "\"https://json.schemastore.org/sarif-2.1.0.json\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\": \"cimlint\""), std::string::npos);
+  EXPECT_NE(out.find("\"ruleId\": \"raw-rng\""), std::string::npos);
+  EXPECT_NE(out.find("\"ruleIndex\": 11"), std::string::npos);
+  EXPECT_NE(out.find("\"startLine\": 3"), std::string::npos);
+  EXPECT_NE(out.find("\"uriBaseId\": \"SRCROOT\""), std::string::npos);
+  EXPECT_NE(out.find("\"cimlintKey/v1\": \"src/a.cc:raw-rng:k\""),
+            std::string::npos);
+  // Every rule the engine knows is declared in tool.driver.rules, even when
+  // it produced no result (SARIF viewers need the registry up front).
+  for (const char* rule :
+       {"layer-upward-include", "layer-cycle", "unordered-iteration",
+        "nested-parallel-region", "stale-baseline-entry",
+        "stale-suppression"}) {
+    EXPECT_NE(out.find(std::string("\"id\": \"") + rule + "\""),
+              std::string::npos)
+        << rule;
+  }
+}
+
+TEST(SarifEmitter, ByteStableAcrossInputOrder) {
+  const Finding a{"src/a.cc", 3, "raw-rng", "m1", ""};
+  const Finding b{"src/b.cc", 1, "raw-thread", "m2", ""};
+  EXPECT_EQ(ToSarif({a, b}), ToSarif({b, a}));
+}
+
+// ---------------------------------------------------------------------------
+// The real tree, gated exactly like CI: zero findings outside the baseline
+// and zero stale baseline entries.
+// ---------------------------------------------------------------------------
+
 #ifdef CIMLINT_REPO_ROOT
-TEST(RepoTree, IsCleanUnderAllRules) {
-  const std::vector<Finding> findings =
-      LintTree(CIMLINT_REPO_ROOT, {"src", "bench", "examples", "tests"});
-  for (const Finding& f : findings) {
+TEST(RepoTree, IsCleanUnderDiffBaseline) {
+  const std::vector<std::string> subdirs = {"src", "bench", "examples",
+                                            "tests", "tools"};
+  const std::vector<Finding> findings = LintTree(CIMLINT_REPO_ROOT, subdirs);
+  std::ifstream in(std::string(CIMLINT_REPO_ROOT) +
+                       "/tools/cimlint/baseline.json",
+                   std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing tools/cimlint/baseline.json";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(ParseBaseline(buffer.str(), &baseline, &error)) << error;
+  const BaselineDiff diff = DiffBaseline(findings, baseline, subdirs);
+  for (const Finding& f : diff.fresh) {
     ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] "
                   << f.message;
+  }
+  for (const BaselineEntry& e : diff.stale) {
+    ADD_FAILURE() << "stale baseline entry: (" << e.file << ", " << e.rule
+                  << ", " << e.key << ")";
   }
 }
 #endif

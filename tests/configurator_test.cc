@@ -112,7 +112,7 @@ TEST(ConfiguratorTest, InvalidConfigAppliesNothing) {
   // The valid parts were not applied either (validation is up-front).
   EXPECT_FALSE((*fabric)->InjectData(7, {1.0}).ok());
   EXPECT_EQ((*fabric)->partitions().PartitionOf({0, 0}),
-            security::PartitionManager::kUnassigned);
+            noc::PartitionManager::kUnassigned);
 }
 
 TEST(ConfiguratorTest, SkippedSlotsLeaveUnitsAlone) {

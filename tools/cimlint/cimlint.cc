@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
+#include <map>
 #include <regex>
 #include <sstream>
 #include <utility>
@@ -15,7 +18,8 @@ namespace {
 // Source stripping: split a file into per-line code text (string-literal and
 // comment contents blanked out) and per-line comment text (for suppression
 // lookup). A small hand-rolled scanner handles //, /* */, "..."/'...' and
-// the common R"( ... )" raw-string form across line boundaries.
+// raw strings with custom delimiters and encoding prefixes:
+// R"x(...)x", u8R"(...)", uR/UR/LR"(...)".
 // ---------------------------------------------------------------------------
 
 struct StrippedFile {
@@ -46,6 +50,22 @@ StrippedFile Strip(const std::string& content) {
     comment_line.clear();
   };
 
+  // Number of characters in the encoding prefix plus the 'R', when content[i]
+  // starts a raw-string intro ((u8|u|U|L)?R followed by '"'); 0 otherwise.
+  auto raw_intro_len = [&](std::size_t i) -> std::size_t {
+    std::size_t j = i;
+    if (content[j] == 'u') {
+      ++j;
+      if (j < n && content[j] == '8') ++j;
+    } else if (content[j] == 'U' || content[j] == 'L') {
+      ++j;
+    }
+    if (j >= n || content[j] != 'R') return 0;
+    ++j;
+    if (j >= n || content[j] != '"') return 0;
+    return j - i;
+  };
+
   for (std::size_t i = 0; i < n; ++i) {
     const char c = content[i];
     const char next = i + 1 < n ? content[i + 1] : '\0';
@@ -55,19 +75,22 @@ StrippedFile Strip(const std::string& content) {
       continue;
     }
     switch (state) {
-      case State::kNormal:
+      case State::kNormal: {
+        const bool ident_before =
+            i > 0 && (std::isalnum(static_cast<unsigned char>(content[i - 1])) !=
+                          0 ||
+                      content[i - 1] == '_');
+        std::size_t intro = 0;
         if (c == '/' && next == '/') {
           state = State::kLineComment;
           ++i;
         } else if (c == '/' && next == '*') {
           state = State::kBlockComment;
           ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (std::isalnum(static_cast<unsigned char>(
-                                   content[i - 1])) == 0 &&
-                               content[i - 1] != '_'))) {
-          // Raw string: R"delim( ... )delim"
-          std::size_t j = i + 2;
+        } else if ((c == 'R' || c == 'u' || c == 'U' || c == 'L') &&
+                   !ident_before && (intro = raw_intro_len(i)) != 0) {
+          // Raw string: (prefix)R"delim( ... )delim"
+          std::size_t j = i + intro + 1;  // past the opening quote
           std::string delim;
           while (j < n && content[j] != '(' && content[j] != '\n') {
             delim += content[j++];
@@ -79,13 +102,15 @@ StrippedFile Strip(const std::string& content) {
         } else if (c == '"') {
           code_line += '"';
           state = State::kString;
-        } else if (c == '\'') {
+        } else if (c == '\'' && !ident_before) {
+          // Digit separators (1'000'000) keep us out of kChar.
           code_line += '\'';
           state = State::kChar;
         } else {
           code_line += c;
         }
         break;
+      }
       case State::kLineComment:
         comment_line += c;
         break;
@@ -137,109 +162,236 @@ StrippedFile Strip(const std::string& content) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+[[nodiscard]] bool StartsWith(const std::string& s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
 [[nodiscard]] bool IsHeader(const std::string& path) {
   return EndsWith(path, ".h") || EndsWith(path, ".hpp");
 }
 
 // ---------------------------------------------------------------------------
-// Suppressions: `// cimlint: allow(<rule>)` on the finding's line or the
-// line directly above; `// cimlint: allow-file(<rule>)` anywhere.
+// Suppressions. Three comment forms (see cimlint.h for the user-facing
+// syntax): a per-line rule allowance, a whole-file rule allowance, and the
+// bare markers allow-discard / allow-pow2 consumed by their specific rules.
+// Every parsed suppression carries a `used` flag; whatever is still unused
+// after all passes is reported as stale-suppression.
 // ---------------------------------------------------------------------------
 
-[[nodiscard]] bool CommentAllows(const std::string& comment,
-                                 const std::string& rule, bool file_scope) {
-  const std::string needle =
-      std::string("cimlint: ") + (file_scope ? "allow-file(" : "allow(") +
-      rule + ")";
-  return comment.find(needle) != std::string::npos;
-}
+struct Suppression {
+  enum class Kind { kRule, kFileRule, kMarker };
+  std::size_t line = 0;  // 0-based line index of the comment
+  Kind kind = Kind::kRule;
+  std::string name;  // rule name or marker name ("allow-discard", ...)
+  bool used = false;
+};
 
-[[nodiscard]] bool Suppressed(const StrippedFile& stripped, std::size_t line_index,
-                              const std::string& rule) {
-  for (const std::string& comment : stripped.comments) {
-    if (CommentAllows(comment, rule, /*file_scope=*/true)) return true;
+[[nodiscard]] bool ValidRuleName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if ((std::islower(static_cast<unsigned char>(c)) == 0) &&
+        (std::isdigit(static_cast<unsigned char>(c)) == 0) && c != '-') {
+      return false;
+    }
   }
-  if (CommentAllows(stripped.comments[line_index], rule, false)) return true;
-  if (line_index > 0 &&
-      CommentAllows(stripped.comments[line_index - 1], rule, false)) {
-    return true;
+  return true;
+}
+
+std::vector<Suppression> ParseSuppressions(
+    const std::vector<std::string>& comments) {
+  std::vector<Suppression> sups;
+  for (std::size_t line = 0; line < comments.size(); ++line) {
+    const std::string& text = comments[line];
+    std::size_t pos = 0;
+    while ((pos = text.find("cimlint:", pos)) != std::string::npos) {
+      // Documentation that *mentions* the syntax (backtick-quoted, or the
+      // `//`-prefixed form inside a comment) is not a suppression.
+      std::size_t before = pos;
+      while (before > 0 && (text[before - 1] == ' ' || text[before - 1] == '\t')) {
+        --before;
+      }
+      const char prev = before > 0 ? text[before - 1] : '\0';
+      std::size_t p = pos + std::string_view("cimlint:").size();
+      pos = p;
+      if (prev == '`' || prev == '/') continue;
+      while (p < text.size() && text[p] == ' ') ++p;
+      auto parse_paren_name = [&](std::string_view head,
+                                  Suppression::Kind kind) -> bool {
+        if (text.compare(p, head.size(), head) != 0) return false;
+        const std::size_t open = p + head.size();
+        const std::size_t close = text.find(')', open);
+        if (close == std::string::npos) return false;
+        const std::string name = text.substr(open, close - open);
+        if (!ValidRuleName(name)) return false;
+        sups.push_back(Suppression{line, kind, name, false});
+        return true;
+      };
+      if (parse_paren_name("allow-file(", Suppression::Kind::kFileRule)) {
+        continue;
+      }
+      if (text.compare(p, 13, "allow-discard") == 0) {
+        sups.push_back(
+            Suppression{line, Suppression::Kind::kMarker, "allow-discard",
+                        false});
+        continue;
+      }
+      if (text.compare(p, 10, "allow-pow2") == 0) {
+        sups.push_back(Suppression{line, Suppression::Kind::kMarker,
+                                   "allow-pow2", false});
+        continue;
+      }
+      (void)parse_paren_name("allow(", Suppression::Kind::kRule);
+    }
   }
-  return false;
-}
-
-void Report(std::vector<Finding>& findings, const SourceFile& file,
-            const StrippedFile& stripped, std::size_t line_index,
-            const std::string& rule, std::string message) {
-  if (Suppressed(stripped, line_index, rule)) return;
-  findings.push_back(
-      Finding{file.repo_path, line_index + 1, rule, std::move(message)});
+  return sups;
 }
 
 // ---------------------------------------------------------------------------
-// Rules
+// Per-file analysis context shared by every pass.
 // ---------------------------------------------------------------------------
 
-void CheckPragmaOnce(const SourceFile& file, const StrippedFile& stripped,
-                     std::vector<Finding>& findings) {
-  if (!IsHeader(file.repo_path)) return;
-  for (const std::string& line : stripped.code) {
+struct FileContext {
+  const SourceFile* file = nullptr;
+  StrippedFile stripped;
+  std::vector<Suppression> sups;
+  // Code lines joined with '\n' for multi-line (extent-based) passes, plus a
+  // joined-position -> line-index map.
+  std::string joined;
+  std::vector<std::size_t> line_of;
+};
+
+FileContext MakeContext(const SourceFile& file) {
+  FileContext ctx;
+  ctx.file = &file;
+  ctx.stripped = Strip(file.content);
+  ctx.sups = ParseSuppressions(ctx.stripped.comments);
+  for (std::size_t i = 0; i < ctx.stripped.code.size(); ++i) {
+    for (std::size_t k = 0; k <= ctx.stripped.code[i].size(); ++k) {
+      ctx.line_of.push_back(i);
+    }
+    ctx.joined += ctx.stripped.code[i];
+    ctx.joined += '\n';
+  }
+  return ctx;
+}
+
+[[nodiscard]] bool AllowedBy(FileContext& ctx, std::size_t line_index,
+                             const std::string& rule) {
+  bool allowed = false;
+  for (Suppression& sup : ctx.sups) {
+    if (sup.kind == Suppression::Kind::kFileRule && sup.name == rule) {
+      sup.used = true;
+      allowed = true;
+    } else if (sup.kind == Suppression::Kind::kRule && sup.name == rule &&
+               (sup.line == line_index || sup.line + 1 == line_index)) {
+      sup.used = true;
+      allowed = true;
+    }
+  }
+  return allowed;
+}
+
+// Marker form consumed by a specific rule (allow-discard, allow-pow2), valid
+// on the finding's line or the line above.
+[[nodiscard]] bool MarkerAllows(FileContext& ctx, std::size_t line_index,
+                                std::string_view marker) {
+  bool allowed = false;
+  for (Suppression& sup : ctx.sups) {
+    if (sup.kind == Suppression::Kind::kMarker && sup.name == marker &&
+        (sup.line == line_index || sup.line + 1 == line_index)) {
+      sup.used = true;
+      allowed = true;
+    }
+  }
+  return allowed;
+}
+
+void Report(FileContext& ctx, std::size_t line_index, const std::string& rule,
+            std::string key, std::string message,
+            std::vector<Finding>& findings) {
+  if (AllowedBy(ctx, line_index, rule)) return;
+  findings.push_back(Finding{ctx.file->repo_path, line_index + 1, rule,
+                             std::move(message), std::move(key)});
+}
+
+// Index of the close bracket matching s[open], or npos when unbalanced.
+[[nodiscard]] std::size_t MatchingClose(const std::string& s,
+                                        std::size_t open) {
+  const char oc = s[open];
+  const char cc = oc == '(' ? ')' : oc == '{' ? '}' : oc == '[' ? ']' : '>';
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == oc) {
+      ++depth;
+    } else if (s[i] == cc) {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rules (pass B's determinism family follows further down).
+// ---------------------------------------------------------------------------
+
+void CheckPragmaOnce(FileContext& ctx, std::vector<Finding>& findings) {
+  if (!IsHeader(ctx.file->repo_path)) return;
+  for (const std::string& line : ctx.stripped.code) {
     if (line.find("#pragma once") != std::string::npos) return;
   }
-  Report(findings, file, stripped, 0, "pragma-once",
-         "header is missing #pragma once");
+  Report(ctx, 0, "pragma-once", "", "header is missing #pragma once",
+         findings);
 }
 
-void CheckUsingNamespace(const SourceFile& file, const StrippedFile& stripped,
-                         std::vector<Finding>& findings) {
-  if (!IsHeader(file.repo_path)) return;
+void CheckUsingNamespace(FileContext& ctx, std::vector<Finding>& findings) {
+  if (!IsHeader(ctx.file->repo_path)) return;
   static const std::regex kUsingNamespace(R"(\busing\s+namespace\b)");
-  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
-    if (std::regex_search(stripped.code[i], kUsingNamespace)) {
-      Report(findings, file, stripped, i, "using-namespace-header",
-             "`using namespace` in a header leaks into every includer");
+  for (std::size_t i = 0; i < ctx.stripped.code.size(); ++i) {
+    if (std::regex_search(ctx.stripped.code[i], kUsingNamespace)) {
+      Report(ctx, i, "using-namespace-header", "",
+             "`using namespace` in a header leaks into every includer",
+             findings);
     }
   }
 }
 
-void CheckRawRng(const SourceFile& file, const StrippedFile& stripped,
-                 std::vector<Finding>& findings) {
-  if (file.repo_path == "src/common/rng.h") return;
+void CheckRawRng(FileContext& ctx, std::vector<Finding>& findings) {
+  if (ctx.file->repo_path == "src/common/rng.h") return;
   static const std::regex kStdRng(
       R"(std\s*::\s*(rand|srand|random_device|mt19937(_64)?)\b)");
   static const std::regex kBareRand(R"((^|[^\w:.>])(rand|srand)\s*\()");
-  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
-    if (std::regex_search(stripped.code[i], kStdRng) ||
-        std::regex_search(stripped.code[i], kBareRand)) {
-      Report(findings, file, stripped, i, "raw-rng",
-             "non-deterministic RNG source; use cim::Rng (common/rng.h)");
+  for (std::size_t i = 0; i < ctx.stripped.code.size(); ++i) {
+    if (std::regex_search(ctx.stripped.code[i], kStdRng) ||
+        std::regex_search(ctx.stripped.code[i], kBareRand)) {
+      Report(ctx, i, "raw-rng", "",
+             "non-deterministic RNG source; use cim::Rng (common/rng.h)",
+             findings);
     }
   }
 }
 
-void CheckRawThread(const SourceFile& file, const StrippedFile& stripped,
-                    std::vector<Finding>& findings) {
-  if (file.repo_path == "src/common/thread_pool.h") return;
+void CheckRawThread(FileContext& ctx, std::vector<Finding>& findings) {
+  if (ctx.file->repo_path == "src/common/thread_pool.h") return;
   static const std::regex kStdThread(
       R"(std\s*::\s*(thread|jthread|async)\b)");
-  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
-    if (std::regex_search(stripped.code[i], kStdThread)) {
-      Report(findings, file, stripped, i, "raw-thread",
+  for (std::size_t i = 0; i < ctx.stripped.code.size(); ++i) {
+    if (std::regex_search(ctx.stripped.code[i], kStdThread)) {
+      Report(ctx, i, "raw-thread", "",
              "raw std::thread/jthread/async; use cim::ThreadPool "
              "(common/thread_pool.h) so shutdown, exceptions and "
-             "utilization stay centralized");
+             "utilization stay centralized",
+             findings);
     }
   }
 }
 
-void CheckMagicUnitLiteral(const SourceFile& file,
-                           const StrippedFile& stripped,
-                           std::vector<Finding>& findings) {
+void CheckMagicUnitLiteral(FileContext& ctx, std::vector<Finding>& findings) {
   // Only model code is in scope: tests/benches build ad-hoc unit values as
   // test vectors, and the two parameter headers are the sanctioned homes
   // for hardware constants.
-  if (file.repo_path.rfind("src/", 0) != 0) return;
-  if (file.repo_path == "src/dpe/params.h" ||
-      file.repo_path == "src/common/units.h") {
+  if (!StartsWith(ctx.file->repo_path, "src/")) return;
+  if (ctx.file->repo_path == "src/dpe/params.h" ||
+      ctx.file->repo_path == "src/common/units.h") {
     return;
   }
   // Expression-position construction from a literal: TimeNs(12.5),
@@ -247,28 +399,28 @@ void CheckMagicUnitLiteral(const SourceFile& file,
   // (`TimeNs read_latency{10.0};`) is self-documenting and allowed.
   static const std::regex kUnitLiteral(
       R"(\b(TimeNs|EnergyPj)\s*(::\s*(Micros|Millis|Seconds|Nano|Micro|Milli)\s*)?[({]\s*([0-9][0-9'\.eE+\-]*))");
-  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
-    for (std::sregex_iterator it(stripped.code[i].begin(),
-                                 stripped.code[i].end(), kUnitLiteral),
+  for (std::size_t i = 0; i < ctx.stripped.code.size(); ++i) {
+    for (std::sregex_iterator it(ctx.stripped.code[i].begin(),
+                                 ctx.stripped.code[i].end(), kUnitLiteral),
          end;
          it != end; ++it) {
       const double value = std::strtod((*it)[4].str().c_str(), nullptr);
       if (value == 0.0) continue;  // zero is "nothing", not a magic constant
-      Report(findings, file, stripped, i, "magic-unit-literal",
+      Report(ctx, i, "magic-unit-literal", (*it)[1].str(),
              "magic " + (*it)[1].str() +
-                 " literal; name it in a params struct (see src/dpe/params.h)");
+                 " literal; name it in a params struct (see src/dpe/params.h)",
+             findings);
       break;
     }
   }
 }
 
-void CheckBannedFunctions(const SourceFile& file, const StrippedFile& stripped,
-                          std::vector<Finding>& findings) {
+void CheckBannedFunctions(FileContext& ctx, std::vector<Finding>& findings) {
   static const std::regex kPrintf(R"((^|[^\w])((std\s*::\s*)?f?printf)\s*\()");
   static const std::regex kExit(R"((^|[^\w])((std\s*::\s*)?exit)\s*\()");
   static const std::regex kMain(R"(\bint\s+main\s*\()");
   bool defines_main = false;
-  for (const std::string& line : stripped.code) {
+  for (const std::string& line : ctx.stripped.code) {
     if (std::regex_search(line, kMain)) {
       defines_main = true;
       break;
@@ -276,21 +428,23 @@ void CheckBannedFunctions(const SourceFile& file, const StrippedFile& stripped,
   }
   // Library code must route output through the logger; bench/ and examples/
   // executables exist to print tables.
-  const bool printf_allowed = file.repo_path.rfind("src/", 0) != 0 ||
-                              file.repo_path == "src/common/log.cc";
-  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
-    if (!printf_allowed && std::regex_search(stripped.code[i], kPrintf)) {
-      Report(findings, file, stripped, i, "banned-function",
-             "printf-family output outside common/log.cc; use LogMessage");
+  const bool printf_allowed = !StartsWith(ctx.file->repo_path, "src/") ||
+                              ctx.file->repo_path == "src/common/log.cc";
+  for (std::size_t i = 0; i < ctx.stripped.code.size(); ++i) {
+    if (!printf_allowed && std::regex_search(ctx.stripped.code[i], kPrintf)) {
+      Report(ctx, i, "banned-function", "printf",
+             "printf-family output outside common/log.cc; use LogMessage",
+             findings);
     }
-    if (!defines_main && std::regex_search(stripped.code[i], kExit)) {
-      Report(findings, file, stripped, i, "banned-function",
-             "exit() outside a main() file; return a Status instead");
+    if (!defines_main && std::regex_search(ctx.stripped.code[i], kExit)) {
+      Report(ctx, i, "banned-function", "exit",
+             "exit() outside a main() file; return a Status instead",
+             findings);
     }
   }
 }
 
-void CheckUnusedStatus(const SourceFile& file, const StrippedFile& stripped,
+void CheckUnusedStatus(FileContext& ctx,
                        const std::set<std::string>& status_functions,
                        std::vector<Finding>& findings) {
   // A call in statement position whose callee is declared to return
@@ -299,8 +453,8 @@ void CheckUnusedStatus(const SourceFile& file, const StrippedFile& stripped,
   static const std::regex kBareCall(
       R"(^\s*((?:[A-Za-z_]\w*(?:\[[^\]]*\])?\s*(?:\.|->)\s*)*)([A-Za-z_]\w*)\s*\()");
   std::string prev_nonblank;
-  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
-    const std::string trimmed = Trim(stripped.code[i]);
+  for (std::size_t i = 0; i < ctx.stripped.code.size(); ++i) {
+    const std::string trimmed = Trim(ctx.stripped.code[i]);
     if (trimmed.empty()) continue;
     const std::string prev = prev_nonblank;
     prev_nonblank = trimmed;
@@ -311,82 +465,985 @@ void CheckUnusedStatus(const SourceFile& file, const StrippedFile& stripped,
         prev[0] == '#';
     if (!statement_start) continue;
     std::smatch m;
-    if (!std::regex_search(stripped.code[i], m, kBareCall)) continue;
+    if (!std::regex_search(ctx.stripped.code[i], m, kBareCall)) continue;
     const std::string callee = m[2].str();
     if (status_functions.count(callee) == 0) continue;
-    Report(findings, file, stripped, i, "unused-status",
+    Report(ctx, i, "unused-status", callee,
            "result of '" + callee +
                "' (returns Status/Expected) is discarded; handle it or "
-               "cast to void");
+               "cast to void",
+           findings);
   }
 }
 
-void CheckDiscardedStatus(const SourceFile& file, const StrippedFile& stripped,
+void CheckDiscardedStatus(FileContext& ctx,
                           const std::set<std::string>& status_functions,
                           std::vector<Finding>& findings) {
   // A `(void)` / `static_cast<void>` cast of a call whose callee is declared
   // to return Status/Expected<T>. The cast satisfies [[nodiscard]] but still
   // drops the error; production code must handle it or justify the discard
-  // with `// cimlint: allow-discard`. Tests exercise failure paths on
-  // purpose, so tests/ and *_test.cc are out of scope.
-  if (file.repo_path.rfind("tests/", 0) == 0 ||
-      EndsWith(file.repo_path, "_test.cc")) {
+  // with the `// cimlint: allow-discard` marker. Tests exercise failure
+  // paths on purpose, so tests/ and *_test.cc are out of scope.
+  if (StartsWith(ctx.file->repo_path, "tests/") ||
+      EndsWith(ctx.file->repo_path, "_test.cc")) {
     return;
   }
   // Matches the discard cast, an optional receiver chain — `obj.`, `ptr->`,
   // `Ns::`, `(*tile)->`, `f(x).` — and captures the final callee name.
   static const std::regex kDiscardedCall(
       R"((?:\(\s*void\s*\)|static_cast\s*<\s*void\s*>\s*\()\s*(?:(?:\(\s*\*+\s*[A-Za-z_]\w*\s*\)|[A-Za-z_]\w*(?:\([^()]*\))?(?:\[[^\]]*\])?)\s*(?:\.|->|::)\s*)*([A-Za-z_]\w*)\s*\()");
-  auto discard_allowed = [&](std::size_t i) {
-    static constexpr std::string_view kMarker = "cimlint: allow-discard";
-    if (stripped.comments[i].find(kMarker) != std::string::npos) return true;
-    return i > 0 &&
-           stripped.comments[i - 1].find(kMarker) != std::string::npos;
-  };
-  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
-    for (std::sregex_iterator it(stripped.code[i].begin(),
-                                 stripped.code[i].end(), kDiscardedCall),
+  for (std::size_t i = 0; i < ctx.stripped.code.size(); ++i) {
+    for (std::sregex_iterator it(ctx.stripped.code[i].begin(),
+                                 ctx.stripped.code[i].end(), kDiscardedCall),
          end;
          it != end; ++it) {
       const std::string callee = (*it)[1].str();
       if (status_functions.count(callee) == 0) continue;
-      if (discard_allowed(i)) continue;
-      Report(findings, file, stripped, i, "discarded-status",
+      if (MarkerAllows(ctx, i, "allow-discard")) continue;
+      Report(ctx, i, "discarded-status", callee,
              "'" + callee +
                  "' returns Status/Expected but the result is cast to void; "
                  "handle the error or justify with `// cimlint: "
-                 "allow-discard`");
+                 "allow-discard`",
+             findings);
       break;
     }
   }
 }
 
-void CheckPow2InHotPath(const SourceFile& file, const StrippedFile& stripped,
-                        std::vector<Finding>& findings) {
+void CheckPow2InHotPath(FileContext& ctx, std::vector<Finding>& findings) {
   // Model code only: std::pow(2.0, integer) is an exact shift wearing a
   // libm costume, and the analog cycle / shift-and-add loops it showed up
   // in are the hottest code in the repo. bench/, examples/ and tests/ keep
   // their freedom. Non-integer exponents stay legitimate via the
   // `// cimlint: allow-pow2` escape.
-  if (file.repo_path.rfind("src/", 0) != 0) return;
+  if (!StartsWith(ctx.file->repo_path, "src/")) return;
   static const std::regex kPow2(R"(\bstd\s*::\s*pow\s*\(\s*2(\.0*f?)?\s*,)");
-  auto pow2_allowed = [&](std::size_t i) {
-    static constexpr std::string_view kMarker = "cimlint: allow-pow2";
-    if (stripped.comments[i].find(kMarker) != std::string::npos) return true;
-    return i > 0 &&
-           stripped.comments[i - 1].find(kMarker) != std::string::npos;
-  };
-  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
-    if (!std::regex_search(stripped.code[i], kPow2)) continue;
-    if (pow2_allowed(i)) continue;
-    Report(findings, file, stripped, i, "pow2-in-hot-path",
+  for (std::size_t i = 0; i < ctx.stripped.code.size(); ++i) {
+    if (!std::regex_search(ctx.stripped.code[i], kPow2)) continue;
+    if (MarkerAllows(ctx, i, "allow-pow2")) continue;
+    Report(ctx, i, "pow2-in-hot-path", "",
            "std::pow(2, ...) in model code; use a shift-derived constant or "
            "std::ldexp(1.0, n), or justify a non-integer exponent with "
-           "`// cimlint: allow-pow2`");
+           "`// cimlint: allow-pow2`",
+           findings);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass B: determinism & concurrency rules (src/ only). These are extent-based
+// passes over the joined code text: a "parallel extent" is the argument list
+// of a ParallelFor/Submit call, bracket-matched so lambda bodies are covered.
+// ---------------------------------------------------------------------------
+
+struct Extent {
+  std::size_t name_pos = 0;  // position of the callee name
+  std::size_t open = 0;      // '(' of the argument list
+  std::size_t close = 0;     // matching ')'
+  std::string name;
+};
+
+std::vector<Extent> ParallelExtents(const FileContext& ctx) {
+  static const std::regex kParallelCall(R"(\b(ParallelFor|Submit)\s*\()");
+  std::vector<Extent> extents;
+  for (std::sregex_iterator it(ctx.joined.begin(), ctx.joined.end(),
+                               kParallelCall),
+       end;
+       it != end; ++it) {
+    Extent e;
+    e.name_pos = static_cast<std::size_t>(it->position(0));
+    e.open = e.name_pos + static_cast<std::size_t>(it->length(0)) - 1;
+    e.close = MatchingClose(ctx.joined, e.open);
+    e.name = (*it)[1].str();
+    if (e.close != std::string::npos) extents.push_back(e);
+  }
+  return extents;
+}
+
+void CheckNestedParallel(FileContext& ctx, std::vector<Finding>& findings) {
+  if (!StartsWith(ctx.file->repo_path, "src/")) return;
+  const std::vector<Extent> extents = ParallelExtents(ctx);
+  std::set<std::size_t> reported;
+  for (const Extent& inner : extents) {
+    for (const Extent& outer : extents) {
+      if (outer.open < inner.name_pos && inner.name_pos < outer.close) {
+        if (!reported.insert(inner.name_pos).second) break;
+        Report(ctx, ctx.line_of[inner.name_pos], "nested-parallel-region",
+               inner.name,
+               inner.name + " inside a " + outer.name +
+                   " argument list; cim::ThreadPool rejects nested parallel "
+                   "regions at runtime — check InParallelRegion() and take "
+                   "the serial path",
+               findings);
+        break;
+      }
+    }
+  }
+}
+
+void CheckThreadLocalInParallel(FileContext& ctx,
+                                std::vector<Finding>& findings) {
+  if (!StartsWith(ctx.file->repo_path, "src/")) return;
+  const std::vector<Extent> extents = ParallelExtents(ctx);
+  auto in_parallel = [&](std::size_t pos) {
+    for (const Extent& e : extents) {
+      if (e.open < pos && pos < e.close) return true;
+    }
+    return false;
+  };
+  // Collect thread_local declarations; flag the keyword itself when it sits
+  // inside a parallel extent (per-task scratch state belongs in the callee's
+  // function-scope cache, not in the submitted lambda).
+  static const std::regex kThreadLocal(R"(\bthread_local\b)");
+  std::set<std::string> tl_names;
+  for (std::sregex_iterator it(ctx.joined.begin(), ctx.joined.end(),
+                               kThreadLocal),
+       end;
+       it != end; ++it) {
+    const std::size_t pos = static_cast<std::size_t>(it->position(0));
+    // Declared name: last identifier before the initializer/terminator.
+    std::size_t semi = ctx.joined.find(';', pos);
+    if (semi == std::string::npos) semi = ctx.joined.size();
+    std::string decl = ctx.joined.substr(pos, semi - pos);
+    const std::size_t cut = decl.find_first_of("={(");
+    if (cut != std::string::npos) decl = decl.substr(0, cut);
+    std::size_t e = decl.find_last_not_of(" \t\n");
+    if (e != std::string::npos) {
+      std::size_t b = e;
+      while (b > 0 && (std::isalnum(static_cast<unsigned char>(decl[b - 1])) !=
+                           0 ||
+                       decl[b - 1] == '_')) {
+        --b;
+      }
+      if (b <= e) tl_names.insert(decl.substr(b, e - b + 1));
+    }
+    if (in_parallel(pos)) {
+      Report(ctx, ctx.line_of[pos], "thread-local-in-parallel", "",
+             "thread_local declared inside a parallel region; use the "
+             "callee's function-scope scratch cache or per-slot storage "
+             "merged in canonical order (DESIGN.md § Threading)",
+             findings);
+    }
+  }
+  if (tl_names.empty()) return;
+  // Writes to a thread_local declared elsewhere, from inside an extent.
+  static const std::regex kAssign(
+      R"(\b([A-Za-z_]\w*)\s*(?:\[[^\]]*\]\s*)?([+\-*/|&^]?=)(?!=))");
+  for (const Extent& ext : extents) {
+    const std::string body =
+        ctx.joined.substr(ext.open + 1, ext.close - ext.open - 1);
+    for (std::sregex_iterator it(body.begin(), body.end(), kAssign), end;
+         it != end; ++it) {
+      const std::string name = (*it)[1].str();
+      if (tl_names.count(name) == 0) continue;
+      const std::size_t pos =
+          ext.open + 1 + static_cast<std::size_t>(it->position(0));
+      if (in_parallel(pos)) {
+        Report(ctx, ctx.line_of[pos], "thread-local-in-parallel", name,
+               "write to thread_local '" + name +
+                   "' inside a parallel region; results that depend on task "
+                   "scheduling are not reproducible",
+               findings);
+      }
+    }
+  }
+}
+
+void CheckNondeterministicSeed(FileContext& ctx,
+                               std::vector<Finding>& findings) {
+  if (!StartsWith(ctx.file->repo_path, "src/")) return;
+  static const std::regex kWallClock(
+      R"((^|[^\w:])time\s*\(|\b(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now\b)");
+  static const std::regex kAddrCast(
+      R"(reinterpret_cast\s*<\s*(?:std\s*::\s*)?u?int)");
+  static const std::regex kSeedContext(R"([Ss]eed|\bRng\b|\brng\b)");
+  for (std::size_t i = 0; i < ctx.stripped.code.size(); ++i) {
+    const std::string& line = ctx.stripped.code[i];
+    if (!std::regex_search(line, kSeedContext)) continue;
+    if (std::regex_search(line, kWallClock) ||
+        std::regex_search(line, kAddrCast)) {
+      Report(ctx, i, "nondeterministic-seed", "",
+             "seed derived from wall clock or object address; draw it from "
+             "the deterministic seed tree (common/rng.h) so runs replay "
+             "bit-identically",
+             findings);
+    }
+  }
+}
+
+void CheckUnorderedIteration(FileContext& ctx,
+                             std::vector<Finding>& findings) {
+  if (!StartsWith(ctx.file->repo_path, "src/")) return;
+  // Names of variables declared with an unordered container type.
+  static const std::regex kUnordered(
+      R"(\bunordered_(?:map|set|multimap|multiset)\b)");
+  std::set<std::string> containers;
+  for (std::sregex_iterator it(ctx.joined.begin(), ctx.joined.end(),
+                               kUnordered),
+       end;
+       it != end; ++it) {
+    std::size_t p =
+        static_cast<std::size_t>(it->position(0)) +
+        static_cast<std::size_t>(it->length(0));
+    while (p < ctx.joined.size() && std::isspace(static_cast<unsigned char>(
+                                        ctx.joined[p])) != 0) {
+      ++p;
+    }
+    if (p >= ctx.joined.size() || ctx.joined[p] != '<') continue;
+    const std::size_t close = MatchingClose(ctx.joined, p);
+    if (close == std::string::npos) continue;
+    p = close + 1;
+    while (p < ctx.joined.size() &&
+           (std::isspace(static_cast<unsigned char>(ctx.joined[p])) != 0 ||
+            ctx.joined[p] == '&' || ctx.joined[p] == '*')) {
+      ++p;
+    }
+    std::string name;
+    while (p < ctx.joined.size() &&
+           (std::isalnum(static_cast<unsigned char>(ctx.joined[p])) != 0 ||
+            ctx.joined[p] == '_')) {
+      name += ctx.joined[p++];
+    }
+    if (!name.empty()) containers.insert(name);
+  }
+  if (containers.empty()) return;
+
+  static const std::regex kFor(R"(\bfor\s*\()");
+  static const std::regex kIdent(R"([A-Za-z_]\w*)");
+  static const std::regex kBodyDecl(
+      R"((?:^|[;{(])\s*(?:const\s+)?(?:auto|int|unsigned|long|double|float|bool|char|std\s*::\s*\w+|[A-Z]\w*)(?:<[^;{}]*>)?\s*[&*]?\s*([A-Za-z_]\w*)\s*(?:=|\{|;))");
+  static const std::regex kAssign(
+      R"(\b([A-Za-z_]\w*)((?:\s*(?:\.|->)\s*[A-Za-z_]\w*|\s*\[[^\]]*\])*)\s*([+\-*/|&^]?=)(?!=))");
+  static const std::regex kMutCall(
+      R"(\b([A-Za-z_]\w*)\s*(?:\.|->)\s*(?:push_back|insert|emplace_back|emplace|append)\s*\()");
+  for (std::sregex_iterator it(ctx.joined.begin(), ctx.joined.end(), kFor),
+       end;
+       it != end; ++it) {
+    const std::size_t open = static_cast<std::size_t>(it->position(0)) +
+                             static_cast<std::size_t>(it->length(0)) - 1;
+    const std::size_t close = MatchingClose(ctx.joined, open);
+    if (close == std::string::npos) continue;
+    const std::string head =
+        ctx.joined.substr(open + 1, close - open - 1);
+    // Range-for: no top-level ';', exactly a top-level ':' (not '::').
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    bool classic = false;
+    for (std::size_t k = 0; k < head.size(); ++k) {
+      const char c = head[k];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (depth != 0) continue;
+      if (c == ';') {
+        classic = true;
+        break;
+      }
+      if (c == ':' && (k + 1 >= head.size() || head[k + 1] != ':') &&
+          (k == 0 || head[k - 1] != ':') && colon == std::string::npos) {
+        colon = k;
+      }
+    }
+    if (classic || colon == std::string::npos) continue;
+    // Trailing identifier of the range expression.
+    std::string range = Trim(head.substr(colon + 1));
+    std::size_t re = range.size();
+    while (re > 0 && (std::isalnum(static_cast<unsigned char>(
+                          range[re - 1])) != 0 ||
+                      range[re - 1] == '_')) {
+      --re;
+    }
+    const std::string range_name = range.substr(re);
+    if (containers.count(range_name) == 0) continue;
+    // Everything declared before the ':' is a loop variable; writes through
+    // those are per-element and order-independent.
+    std::set<std::string> allowed;
+    const std::string decl = head.substr(0, colon);
+    for (std::sregex_iterator di(decl.begin(), decl.end(), kIdent), dend;
+         di != dend; ++di) {
+      allowed.insert(di->str());
+    }
+    // Body extent: a braced block or a single statement.
+    std::size_t bstart = close + 1;
+    while (bstart < ctx.joined.size() &&
+           std::isspace(static_cast<unsigned char>(ctx.joined[bstart])) != 0) {
+      ++bstart;
+    }
+    std::size_t bend;
+    if (bstart < ctx.joined.size() && ctx.joined[bstart] == '{') {
+      bend = MatchingClose(ctx.joined, bstart);
+      if (bend == std::string::npos) continue;
+      ++bstart;
+    } else {
+      bend = ctx.joined.find(';', bstart);
+      if (bend == std::string::npos) continue;
+    }
+    const std::string body = ctx.joined.substr(bstart, bend - bstart);
+    for (std::sregex_iterator di(body.begin(), body.end(), kBodyDecl), dend;
+         di != dend; ++di) {
+      allowed.insert((*di)[1].str());
+    }
+    // First write whose root is neither a loop variable nor body-local.
+    std::size_t first_pos = std::string::npos;
+    for (std::sregex_iterator wi(body.begin(), body.end(), kAssign), wend;
+         wi != wend; ++wi) {
+      const std::string root = (*wi)[1].str();
+      if (allowed.count(root) != 0) continue;
+      first_pos = std::min(first_pos, static_cast<std::size_t>(wi->position(0)));
+      break;
+    }
+    for (std::sregex_iterator wi(body.begin(), body.end(), kMutCall), wend;
+         wi != wend; ++wi) {
+      const std::string root = (*wi)[1].str();
+      if (allowed.count(root) != 0) continue;
+      first_pos = std::min(first_pos, static_cast<std::size_t>(wi->position(0)));
+      break;
+    }
+    if (first_pos == std::string::npos) continue;
+    Report(ctx, ctx.line_of[bstart + first_pos], "unordered-iteration",
+           range_name,
+           "range-for over unordered container '" + range_name +
+               "' writes to non-local state; iteration order is unspecified "
+               "— sort the keys first or use std::map so merges stay "
+               "canonical",
+           findings);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass A: include-graph layering over the src/ module DAG.
+// ---------------------------------------------------------------------------
+
+struct IncludeSite {
+  std::size_t ctx_index = 0;
+  std::size_t line_index = 0;
+  std::string path;  // the include path as written
+};
+
+// Tarjan strongly-connected components over the module graph; modules in a
+// component of size > 1 participate in a cycle.
+class SccFinder {
+ public:
+  SccFinder(const std::vector<std::string>& nodes,
+            const std::map<std::string, std::set<std::string>>& adj)
+      : nodes_(nodes), adj_(adj) {
+    index_.assign(nodes_.size(), -1);
+    low_.assign(nodes_.size(), 0);
+    on_stack_.assign(nodes_.size(), false);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (index_[i] < 0) Visit(i);
+    }
+  }
+
+  // component id per node index; ids are arbitrary but equal within an SCC.
+  [[nodiscard]] const std::vector<int>& component() const { return comp_; }
+  [[nodiscard]] int ComponentSize(int id) const { return comp_size_.at(id); }
+
+ private:
+  void Visit(std::size_t v) {
+    index_[v] = low_[v] = next_index_++;
+    stack_.push_back(v);
+    on_stack_[v] = true;
+    const auto it = adj_.find(nodes_[v]);
+    if (it != adj_.end()) {
+      for (const std::string& t : it->second) {
+        const auto pos = std::find(nodes_.begin(), nodes_.end(), t);
+        if (pos == nodes_.end()) continue;
+        const std::size_t w = static_cast<std::size_t>(pos - nodes_.begin());
+        if (index_[w] < 0) {
+          Visit(w);
+          low_[v] = std::min(low_[v], low_[w]);
+        } else if (on_stack_[w]) {
+          low_[v] = std::min(low_[v], index_[w]);
+        }
+      }
+    }
+    if (low_[v] == index_[v]) {
+      const int id = next_comp_++;
+      int size = 0;
+      while (true) {
+        const std::size_t w = stack_.back();
+        stack_.pop_back();
+        on_stack_[w] = false;
+        if (comp_.size() < nodes_.size()) comp_.resize(nodes_.size(), -1);
+        comp_[w] = id;
+        ++size;
+        if (w == v) break;
+      }
+      comp_size_[id] = size;
+    }
+  }
+
+  const std::vector<std::string>& nodes_;
+  const std::map<std::string, std::set<std::string>>& adj_;
+  std::vector<int> index_, low_, comp_;
+  std::vector<bool> on_stack_;
+  std::vector<std::size_t> stack_;
+  std::map<int, int> comp_size_;
+  int next_index_ = 0;
+  int next_comp_ = 0;
+};
+
+void CheckLayering(std::vector<FileContext>& ctxs, const LayerSpec& spec,
+                   std::vector<Finding>& findings) {
+  // The stripped text blanks string contents, so the gate (is this line a
+  // quoted include at all?) runs on stripped code — which excludes
+  // commented-out includes — and the path itself comes from the raw line.
+  static const std::regex kIncludeGate(R"rx(^\s*#\s*include\s*"")rx");
+  static const std::regex kInclude(R"rx(^\s*#\s*include\s*"([^"]+)")rx");
+  std::set<std::string> modules;
+  std::map<std::string, std::size_t> first_file;  // module -> ctx index
+  std::map<std::pair<std::string, std::string>, std::vector<IncludeSite>>
+      edges;
+  for (std::size_t c = 0; c < ctxs.size(); ++c) {
+    const std::string& path = ctxs[c].file->repo_path;
+    if (!StartsWith(path, "src/")) continue;
+    const std::size_t slash = path.find('/', 4);
+    if (slash == std::string::npos) continue;  // file directly under src/
+    const std::string mod = path.substr(4, slash - 4);
+    modules.insert(mod);
+    first_file.emplace(mod, c);  // ctxs are path-sorted: first wins
+    std::vector<std::string> raw_lines;
+    {
+      std::istringstream in(ctxs[c].file->content);
+      std::string line;
+      while (std::getline(in, line)) raw_lines.push_back(line);
+    }
+    for (std::size_t i = 0; i < ctxs[c].stripped.code.size(); ++i) {
+      if (!std::regex_search(ctxs[c].stripped.code[i], kIncludeGate)) continue;
+      if (i >= raw_lines.size()) continue;
+      std::smatch m;
+      if (!std::regex_search(raw_lines[i], m, kInclude)) continue;
+      const std::string inc = m[1].str();
+      const std::size_t inc_slash = inc.find('/');
+      if (inc_slash == std::string::npos) continue;  // not a module include
+      const std::string target = inc.substr(0, inc_slash);
+      if (target == mod) continue;
+      edges[{mod, target}].push_back(IncludeSite{c, i, inc});
+    }
+  }
+  // The spec must place every module the tree actually has.
+  for (const std::string& mod : modules) {
+    if (spec.LayerOf(mod) >= 0) continue;
+    Report(ctxs[first_file.at(mod)], 0, "layer-unknown-module", mod,
+           "module 'src/" + mod +
+               "' is not placed in any layer of tools/cimlint/layers.txt; "
+               "add it so the layering stays exhaustive",
+           findings);
+  }
+  // Upward edges: including a module in a strictly higher layer.
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& [edge, sites] : edges) {
+    const auto& [from, to] = edge;
+    // A target counts as a module when the spec places it or the scan saw
+    // it; anything else ("tools/...", vendored paths) is not a layer edge.
+    if (modules.count(to) == 0 && spec.LayerOf(to) < 0) continue;
+    adj[from].insert(to);
+    const int lf = spec.LayerOf(from);
+    const int lt = spec.LayerOf(to);
+    if (lf < 0 || lt < 0 || lf >= lt) continue;
+    for (const IncludeSite& site : sites) {
+      Report(ctxs[site.ctx_index], site.line_index, "layer-upward-include",
+             site.path,
+             "module '" + from + "' (layer " + std::to_string(lf) +
+                 ") includes '" + site.path + "' from module '" + to +
+                 "' (layer " + std::to_string(lt) +
+                 ") above it; invert the dependency or move the shared type "
+                 "down (see DESIGN.md § Module layering)",
+             findings);
+    }
+  }
+  // Cycles: every edge inside a strongly-connected component of size > 1.
+  const std::vector<std::string> nodes(modules.begin(), modules.end());
+  const SccFinder scc(nodes, adj);
+  for (const auto& [edge, sites] : edges) {
+    const auto& [from, to] = edge;
+    const auto fp = std::find(nodes.begin(), nodes.end(), from);
+    const auto tp = std::find(nodes.begin(), nodes.end(), to);
+    if (fp == nodes.end() || tp == nodes.end()) continue;
+    const int cf = scc.component()[static_cast<std::size_t>(fp - nodes.begin())];
+    const int ct = scc.component()[static_cast<std::size_t>(tp - nodes.begin())];
+    if (cf != ct || scc.ComponentSize(cf) < 2) continue;
+    const IncludeSite& site = sites.front();
+    Report(ctxs[site.ctx_index], site.line_index, "layer-cycle",
+           from + "->" + to,
+           "include edge '" + from + "' -> '" + to +
+               "' participates in a module cycle; the module graph must stay "
+               "a DAG",
+           findings);
   }
 }
 
 }  // namespace
+
+int LayerSpec::LayerOf(std::string_view module) const {
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    for (const std::string& m : layers[i]) {
+      if (m == module) return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool ParseLayerSpec(const std::string& text, LayerSpec* spec,
+                    std::string* error) {
+  spec->layers.clear();
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  std::set<std::string> seen;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    std::istringstream fields(raw);
+    std::string directive;
+    if (!(fields >> directive)) continue;  // blank line
+    if (directive != "layer") {
+      *error = "line " + std::to_string(line_no) +
+               ": expected 'layer <module>...', got '" + directive + "'";
+      return false;
+    }
+    std::vector<std::string> layer;
+    std::string mod;
+    while (fields >> mod) {
+      if (!seen.insert(mod).second) {
+        *error = "line " + std::to_string(line_no) + ": module '" + mod +
+                 "' declared twice";
+        return false;
+      }
+      layer.push_back(mod);
+    }
+    if (layer.empty()) {
+      *error = "line " + std::to_string(line_no) +
+               ": 'layer' directive with no modules";
+      return false;
+    }
+    spec->layers.push_back(std::move(layer));
+  }
+  if (spec->layers.empty()) {
+    *error = "no layers declared";
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Pass C: a minimal JSON reader (for baseline.json) and deterministic
+// JSON/SARIF writers. Hand-rolled on purpose: no third-party deps, and the
+// writers emit fields in a fixed order so golden tests can compare bytes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] const JsonValue* Get(std::string_view key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  [[nodiscard]] bool Parse(JsonValue* out, std::string* error) {
+    const bool ok = ParseValue(out) && (SkipWs(), pos_ == s_.size());
+    if (!ok && error != nullptr) {
+      *error = err_.empty() ? "trailing characters at offset " +
+                                  std::to_string(pos_)
+                            : err_;
+    }
+    return ok;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& what) {
+    if (err_.empty()) {
+      err_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  bool Expect(char c) {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) return false;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u':
+            pos_ = std::min(pos_ + 4, s_.size());  // keep scanning, drop it
+            c = '?';
+            break;
+          default: c = e; break;
+        }
+      }
+      *out += c;
+    }
+    if (pos_ >= s_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return Fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Expect(':')) return false;
+        JsonValue v;
+        if (!ParseValue(&v)) return false;
+        out->members.emplace_back(std::move(key), std::move(v));
+        SkipWs();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        return Expect('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue v;
+        if (!ParseValue(&v)) return false;
+        out->items.push_back(std::move(v));
+        SkipWs();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        return Expect(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      out->kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return true;
+    }
+    if (c == '-' || (std::isdigit(static_cast<unsigned char>(c)) != 0)) {
+      const std::size_t start = pos_;
+      while (pos_ < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+              s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+              s_[pos_] == 'e' || s_[pos_] == 'E')) {
+        ++pos_;
+      }
+      out->kind = JsonValue::Kind::kNumber;
+      out->number = std::strtod(s_.substr(start, pos_ - start).c_str(),
+                                nullptr);
+      return true;
+    }
+    return Fail("unexpected character");
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+[[nodiscard]] std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::vector<Finding> Sorted(std::vector<Finding> findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.key, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.key, b.message);
+            });
+  return findings;
+}
+
+// Every rule the engine knows, alphabetical; SARIF results refer into this
+// table by index.
+struct RuleInfo {
+  const char* id;
+  const char* description;
+};
+constexpr RuleInfo kRules[] = {
+    {"banned-function", "printf/exit outside their sanctioned homes"},
+    {"discarded-status", "Status/Expected result cast to void"},
+    {"layer-cycle", "include edge participating in a module cycle"},
+    {"layer-spec", "tools/cimlint/layers.txt is malformed"},
+    {"layer-unknown-module", "src/ module missing from layers.txt"},
+    {"layer-upward-include", "include of a module in a higher layer"},
+    {"magic-unit-literal", "inline TimeNs/EnergyPj constant in model code"},
+    {"nested-parallel-region", "ParallelFor/Submit inside a parallel region"},
+    {"nondeterministic-seed", "seed from wall clock or object address"},
+    {"pow2-in-hot-path", "std::pow(2, ...) in model code"},
+    {"pragma-once", "header missing #pragma once"},
+    {"raw-rng", "RNG source outside common/rng.h"},
+    {"raw-thread", "thread primitive outside common/thread_pool.h"},
+    {"stale-baseline-entry", "baseline entry matching no finding"},
+    {"stale-suppression", "suppression comment matching no finding"},
+    {"thread-local-in-parallel", "thread_local use inside a parallel region"},
+    {"unordered-iteration", "order-dependent write under unordered iteration"},
+    {"unused-status", "Status/Expected result silently discarded"},
+    {"using-namespace-header", "using namespace in a header"},
+};
+
+[[nodiscard]] int RuleIndex(const std::string& rule) {
+  for (std::size_t i = 0; i < std::size(kRules); ++i) {
+    if (rule == kRules[i].id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+bool ParseBaseline(const std::string& json_text, Baseline* baseline,
+                   std::string* error) {
+  baseline->entries.clear();
+  JsonValue root;
+  JsonParser parser(json_text);
+  if (!parser.Parse(&root, error)) return false;
+  if (root.kind != JsonValue::Kind::kObject) {
+    *error = "baseline root must be an object";
+    return false;
+  }
+  const JsonValue* findings = root.Get("findings");
+  if (findings == nullptr || findings->kind != JsonValue::Kind::kArray) {
+    *error = "baseline is missing the 'findings' array";
+    return false;
+  }
+  for (std::size_t i = 0; i < findings->items.size(); ++i) {
+    const JsonValue& item = findings->items[i];
+    if (item.kind != JsonValue::Kind::kObject) {
+      *error = "findings[" + std::to_string(i) + "] is not an object";
+      return false;
+    }
+    BaselineEntry entry;
+    const auto read = [&](std::string_view key, std::string* out) {
+      const JsonValue* v = item.Get(key);
+      if (v != nullptr && v->kind == JsonValue::Kind::kString) *out = v->str;
+    };
+    read("file", &entry.file);
+    read("rule", &entry.rule);
+    read("key", &entry.key);
+    read("reason", &entry.reason);
+    if (entry.file.empty() || entry.rule.empty()) {
+      *error = "findings[" + std::to_string(i) +
+               "] needs non-empty 'file' and 'rule'";
+      return false;
+    }
+    if (entry.reason.empty()) {
+      *error = "findings[" + std::to_string(i) + "] (" + entry.file + ", " +
+               entry.rule +
+               ") needs a non-empty 'reason': every baselined violation is "
+               "individually justified";
+      return false;
+    }
+    baseline->entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+BaselineDiff DiffBaseline(const std::vector<Finding>& findings,
+                          const Baseline& baseline,
+                          const std::vector<std::string>& scanned_subdirs) {
+  BaselineDiff diff;
+  std::vector<bool> used(baseline.entries.size(), false);
+  for (const Finding& f : findings) {
+    bool matched = false;
+    for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+      const BaselineEntry& e = baseline.entries[i];
+      if (e.file != f.file || e.rule != f.rule) continue;
+      if (!e.key.empty() && e.key != f.key) continue;
+      used[i] = true;
+      matched = true;
+    }
+    if (!matched) diff.fresh.push_back(f);
+  }
+  for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+    if (used[i]) continue;
+    const std::string& file = baseline.entries[i].file;
+    const bool scanned =
+        std::any_of(scanned_subdirs.begin(), scanned_subdirs.end(),
+                    [&](const std::string& dir) {
+                      return file == dir || StartsWith(file, dir + "/");
+                    });
+    if (scanned) diff.stale.push_back(baseline.entries[i]);
+  }
+  return diff;
+}
+
+std::string BaselineJson(const std::vector<Finding>& findings) {
+  std::vector<Finding> sorted = Sorted(findings);
+  std::ostringstream out;
+  out << "{\n  \"version\": 1,\n  \"findings\": [";
+  std::set<std::string> seen;
+  bool first = true;
+  for (const Finding& f : sorted) {
+    const std::string identity = f.file + "\n" + f.rule + "\n" + f.key;
+    if (!seen.insert(identity).second) continue;
+    out << (first ? "" : ",") << "\n    {\n"
+        << "      \"file\": \"" << JsonEscape(f.file) << "\",\n"
+        << "      \"rule\": \"" << JsonEscape(f.rule) << "\",\n"
+        << "      \"key\": \"" << JsonEscape(f.key) << "\",\n"
+        << "      \"reason\": \"TODO: justify\"\n    }";
+    first = false;
+  }
+  out << (first ? "]\n}\n" : "\n  ]\n}\n");
+  return out.str();
+}
+
+std::string ToJson(const std::vector<Finding>& findings) {
+  const std::vector<Finding> sorted = Sorted(findings);
+  std::ostringstream out;
+  out << "{\n  \"tool\": \"cimlint\",\n  \"count\": " << sorted.size()
+      << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const Finding& f = sorted[i];
+    out << (i == 0 ? "" : ",") << "\n    {\n"
+        << "      \"file\": \"" << JsonEscape(f.file) << "\",\n"
+        << "      \"line\": " << f.line << ",\n"
+        << "      \"rule\": \"" << JsonEscape(f.rule) << "\",\n"
+        << "      \"key\": \"" << JsonEscape(f.key) << "\",\n"
+        << "      \"message\": \"" << JsonEscape(f.message) << "\"\n    }";
+  }
+  out << (sorted.empty() ? "]\n}\n" : "\n  ]\n}\n");
+  return out.str();
+}
+
+std::string ToSarif(const std::vector<Finding>& findings) {
+  const std::vector<Finding> sorted = Sorted(findings);
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n    {\n"
+      << "      \"tool\": {\n        \"driver\": {\n"
+      << "          \"name\": \"cimlint\",\n"
+      << "          \"version\": \"2.0.0\",\n"
+      << "          \"rules\": [";
+  for (std::size_t i = 0; i < std::size(kRules); ++i) {
+    out << (i == 0 ? "" : ",") << "\n            {\n"
+        << "              \"id\": \"" << kRules[i].id << "\",\n"
+        << "              \"shortDescription\": { \"text\": \""
+        << JsonEscape(kRules[i].description) << "\" }\n            }";
+  }
+  out << "\n          ]\n        }\n      },\n"
+      << "      \"columnKind\": \"utf16CodeUnits\",\n"
+      << "      \"originalUriBaseIds\": {\n"
+      << "        \"SRCROOT\": { \"description\": { \"text\": \"repository "
+         "root\" } }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const Finding& f = sorted[i];
+    const int rule_index = RuleIndex(f.rule);
+    out << (i == 0 ? "" : ",") << "\n        {\n"
+        << "          \"ruleId\": \"" << JsonEscape(f.rule) << "\",\n";
+    if (rule_index >= 0) {
+      out << "          \"ruleIndex\": " << rule_index << ",\n";
+    }
+    out << "          \"level\": \"error\",\n"
+        << "          \"message\": { \"text\": \"" << JsonEscape(f.message)
+        << "\" },\n"
+        << "          \"locations\": [\n            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\n"
+        << "                  \"uri\": \"" << JsonEscape(f.file) << "\",\n"
+        << "                  \"uriBaseId\": \"SRCROOT\"\n                },\n"
+        << "                \"region\": { \"startLine\": " << f.line
+        << " }\n              }\n            }\n          ],\n"
+        << "          \"partialFingerprints\": {\n"
+        << "            \"cimlintKey/v1\": \""
+        << JsonEscape(f.file + ":" + f.rule + ":" + f.key)
+        << "\"\n          }\n        }";
+  }
+  out << (sorted.empty() ? "]\n" : "\n      ]\n")
+      << "    }\n  ]\n}\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Driving the passes
+// ---------------------------------------------------------------------------
 
 std::set<std::string> CollectStatusFunctions(
     const std::vector<SourceFile>& files) {
@@ -445,36 +1502,50 @@ std::set<std::string> CollectStatusFunctions(
   return unambiguous;
 }
 
-std::vector<Finding> LintFile(const SourceFile& file,
-                              const std::set<std::string>& status_functions) {
-  const StrippedFile stripped = Strip(file.content);
-  std::vector<Finding> findings;
-  CheckPragmaOnce(file, stripped, findings);
-  CheckUsingNamespace(file, stripped, findings);
-  CheckRawRng(file, stripped, findings);
-  CheckRawThread(file, stripped, findings);
-  CheckMagicUnitLiteral(file, stripped, findings);
-  CheckBannedFunctions(file, stripped, findings);
-  CheckUnusedStatus(file, stripped, status_functions, findings);
-  CheckDiscardedStatus(file, stripped, status_functions, findings);
-  CheckPow2InHotPath(file, stripped, findings);
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
-            });
-  return findings;
-}
-
-std::vector<Finding> LintFiles(const std::vector<SourceFile>& files) {
+std::vector<Finding> LintFiles(const std::vector<SourceFile>& files,
+                               const LayerSpec* spec) {
   const std::set<std::string> status_functions = CollectStatusFunctions(files);
+  std::vector<FileContext> ctxs;
+  ctxs.reserve(files.size());
+  for (const SourceFile& file : files) ctxs.push_back(MakeContext(file));
+
   std::vector<Finding> findings;
-  for (const SourceFile& file : files) {
-    std::vector<Finding> file_findings = LintFile(file, status_functions);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
+  for (FileContext& ctx : ctxs) {
+    CheckPragmaOnce(ctx, findings);
+    CheckUsingNamespace(ctx, findings);
+    CheckRawRng(ctx, findings);
+    CheckRawThread(ctx, findings);
+    CheckMagicUnitLiteral(ctx, findings);
+    CheckBannedFunctions(ctx, findings);
+    CheckUnusedStatus(ctx, status_functions, findings);
+    CheckDiscardedStatus(ctx, status_functions, findings);
+    CheckPow2InHotPath(ctx, findings);
+    CheckNestedParallel(ctx, findings);
+    CheckThreadLocalInParallel(ctx, findings);
+    CheckNondeterministicSeed(ctx, findings);
+    CheckUnorderedIteration(ctx, findings);
   }
-  return findings;
+  if (spec != nullptr) CheckLayering(ctxs, *spec, findings);
+
+  // Whatever suppression no rule consumed is now provably stale. Emitted
+  // directly (not through Report) so it cannot suppress itself.
+  for (const FileContext& ctx : ctxs) {
+    for (const Suppression& sup : ctx.sups) {
+      if (sup.used) continue;
+      const std::string display =
+          sup.kind == Suppression::Kind::kFileRule
+              ? "allow-file(" + sup.name + ")"
+              : sup.kind == Suppression::Kind::kRule
+                    ? "allow(" + sup.name + ")"
+                    : sup.name;
+      findings.push_back(Finding{
+          ctx.file->repo_path, sup.line + 1, "stale-suppression",
+          "suppression '" + display +
+              "' no longer matches any finding; delete the comment",
+          display});
+    }
+  }
+  return Sorted(std::move(findings));
 }
 
 std::vector<Finding> LintTree(const std::filesystem::path& repo_root,
@@ -502,7 +1573,29 @@ std::vector<Finding> LintTree(const std::filesystem::path& repo_root,
             [](const SourceFile& a, const SourceFile& b) {
               return a.repo_path < b.repo_path;
             });
-  return LintFiles(files);
+
+  LayerSpec spec;
+  bool have_spec = false;
+  const fs::path spec_path = repo_root / "tools" / "cimlint" / "layers.txt";
+  std::vector<Finding> spec_findings;
+  if (fs::exists(spec_path)) {
+    std::ifstream in(spec_path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    if (ParseLayerSpec(buffer.str(), &spec, &error)) {
+      have_spec = true;
+    } else {
+      spec_findings.push_back(Finding{"tools/cimlint/layers.txt", 1,
+                                      "layer-spec",
+                                      "layer spec is malformed: " + error,
+                                      ""});
+    }
+  }
+  std::vector<Finding> findings =
+      LintFiles(files, have_spec ? &spec : nullptr);
+  findings.insert(findings.end(), spec_findings.begin(), spec_findings.end());
+  return Sorted(std::move(findings));
 }
 
 }  // namespace cimlint

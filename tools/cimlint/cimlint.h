@@ -1,14 +1,29 @@
-// cim-lint: a token/regex convention linter for this repository.
+// cim-lint v2: a multi-pass static-analysis engine for this repository.
 //
-// Deliberately not a compiler plugin: the rules below are shallow enough to
-// enforce with line-level pattern matching (after stripping comments and
-// string literals), which keeps the tool dependency-free, fast enough to run
-// as a ctest target on every build, and trivially portable to CI images that
-// lack libclang.
+// Deliberately not a compiler plugin: the passes below work on stripped
+// token/line text plus the project include graph, which keeps the tool
+// dependency-free, fast enough to run as a ctest target on every build, and
+// trivially portable to CI images that lack libclang.
+//
+// Passes:
+//   A. Include-graph layering — every `#include` under src/ is an edge in
+//      the module DAG over the src/ subdirectories. The DAG is checked
+//      against the declared spec (tools/cimlint/layers.txt): upward edges
+//      and cycles are findings (rules layer-upward-include, layer-cycle,
+//      layer-unknown-module, layer-spec).
+//   B. Determinism & concurrency rules backing DESIGN.md § Threading:
+//      unordered-iteration, nondeterministic-seed, thread-local-in-parallel,
+//      nested-parallel-region (see the rule table below).
+//   C. Machine-readable reporting and incremental adoption — JSON and SARIF
+//      2.1.0 emitters, a checked-in baseline (tools/cimlint/baseline.json)
+//      of individually justified findings, a diff-baseline mode that fails
+//      only on findings absent from the baseline, and staleness detection
+//      for both baseline entries and suppression comments.
 //
 // Rules (suppress one occurrence with `// cimlint: allow(<rule>)` on the
 // same line or the line above; suppress for a whole file with
-// `// cimlint: allow-file(<rule>)`):
+// `// cimlint: allow-file(<rule>)`; a suppression that no longer matches
+// any finding is itself reported by stale-suppression):
 //
 //   unused-status          A statement-position call to a function that is
 //                          declared to return Status or Expected<T>, with
@@ -59,11 +74,52 @@
 //                          with `// cimlint: allow-pow2` on the same or
 //                          previous line. bench/, examples/ and tests/ are
 //                          out of scope.
+//   layer-upward-include   An `#include` under src/ whose target module
+//                          sits in a higher layer of layers.txt than the
+//                          including module. A module may include itself,
+//                          modules in its own layer, and modules below it.
+//   layer-cycle            An `#include` edge participating in a cycle in
+//                          the module graph (reported once per edge in the
+//                          strongly connected component).
+//   layer-unknown-module   A src/ subdirectory that layers.txt does not
+//                          place in any layer — the spec must stay
+//                          exhaustive as modules are added.
+//   layer-spec             layers.txt itself is malformed (bad directive,
+//                          module declared twice).
+//   unordered-iteration    Range-for over a std::unordered_map/set variable
+//                          whose body writes to state declared outside the
+//                          loop. Iteration order is unspecified, so result
+//                          merges must run in canonical order (sort keys
+//                          first, or use std::map). src/ only.
+//   nondeterministic-seed  A wall-clock read (`time(`, chrono `::now`) or a
+//                          pointer-to-integer cast on a line that forms a
+//                          seed. Seeds must come from the deterministic
+//                          seed tree (common/rng.h) so runs replay
+//                          bit-identically. src/ only.
+//   thread-local-in-parallel  `thread_local` declared, or a file-level
+//                          thread_local variable written, syntactically
+//                          inside a ParallelFor/Submit argument list.
+//                          Per-call scratch state belongs in function-scope
+//                          thread_local caches of the callee (the
+//                          scratch-buffer idiom, DESIGN.md § Threading) or
+//                          in per-slot storage merged in canonical order.
+//                          src/ only.
+//   nested-parallel-region A ParallelFor/Submit call syntactically inside
+//                          another ParallelFor/Submit argument list.
+//                          cim::ThreadPool rejects nested parallel regions
+//                          at runtime; check InParallelRegion() and take
+//                          the serial path instead. src/ only.
+//   stale-suppression      A `cimlint: allow*` comment that no longer
+//                          suppresses any finding. Not itself suppressible.
+//   stale-baseline-entry   A baseline.json entry (diff-baseline mode) that
+//                          no longer matches any finding in the scanned
+//                          tree.
 #pragma once
 
 #include <filesystem>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cimlint {
@@ -73,6 +129,10 @@ struct Finding {
   std::size_t line = 0;   // 1-based
   std::string rule;
   std::string message;
+  // Line-stable identity token used for baseline matching (the included
+  // path for layering rules, the callee for status rules, ...); empty when
+  // the rule has no better key than (file, rule).
+  std::string key;
 };
 
 // One file presented to the linter. `repo_path` is the path rules use for
@@ -82,22 +142,89 @@ struct SourceFile {
   std::string content;
 };
 
-// Pass 1: scan every file for declarations returning Status or Expected<T>
-// and collect the declared function/method names (last :: component).
+// ---------------------------------------------------------------------------
+// Pass A: module layering
+// ---------------------------------------------------------------------------
+
+// Parsed layering spec. Layer 0 is the bottom; a module may include itself,
+// modules in its own layer, and modules in lower layers.
+struct LayerSpec {
+  std::vector<std::vector<std::string>> layers;
+
+  // Layer index of `module`, or -1 when the spec does not place it.
+  [[nodiscard]] int LayerOf(std::string_view module) const;
+};
+
+// Parses the layers.txt format: one `layer <module> [<module>...]` directive
+// per line, bottom layer first; '#' starts a comment. Returns false and sets
+// *error (with a 1-based line number) on a malformed or duplicated entry.
+[[nodiscard]] bool ParseLayerSpec(const std::string& text, LayerSpec* spec,
+                                  std::string* error);
+
+// ---------------------------------------------------------------------------
+// Pass C: baseline and machine-readable output
+// ---------------------------------------------------------------------------
+
+// One justified pre-existing finding. Matches a finding when file and rule
+// are equal and key is equal (an empty entry key matches any finding key —
+// use that sparingly, it grandfathers future findings in the same file).
+struct BaselineEntry {
+  std::string file;
+  std::string rule;
+  std::string key;
+  std::string reason;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+// Parses tools/cimlint/baseline.json. Returns false and sets *error on
+// malformed JSON or a missing required field (file, rule, reason).
+[[nodiscard]] bool ParseBaseline(const std::string& json_text,
+                                 Baseline* baseline, std::string* error);
+
+struct BaselineDiff {
+  std::vector<Finding> fresh;         // findings absent from the baseline
+  std::vector<BaselineEntry> stale;   // entries that matched no finding
+};
+
+// Splits findings into fresh-vs-baselined and detects stale entries. Stale
+// detection only considers entries whose file lies under one of
+// `scanned_subdirs` — a partial-tree run cannot prove an entry stale.
+[[nodiscard]] BaselineDiff DiffBaseline(
+    const std::vector<Finding>& findings, const Baseline& baseline,
+    const std::vector<std::string>& scanned_subdirs);
+
+// Serializes findings as a baseline skeleton (reason = "TODO: justify") for
+// incremental adoption; hand-edit the reasons before checking it in.
+[[nodiscard]] std::string BaselineJson(const std::vector<Finding>& findings);
+
+// Deterministic emitters: findings are ordered (file, line, rule, key) and
+// field order is fixed, so output is byte-stable for golden tests.
+[[nodiscard]] std::string ToJson(const std::vector<Finding>& findings);
+// SARIF 2.1.0; every known rule is listed in tool.driver.rules, results
+// carry a partialFingerprints entry derived from the baseline key.
+[[nodiscard]] std::string ToSarif(const std::vector<Finding>& findings);
+
+// ---------------------------------------------------------------------------
+// Driving the passes
+// ---------------------------------------------------------------------------
+
+// Scan every file for declarations returning Status or Expected<T> and
+// collect the declared function/method names (last :: component).
 [[nodiscard]] std::set<std::string> CollectStatusFunctions(
     const std::vector<SourceFile>& files);
 
-// Pass 2: run every rule against one file. `status_functions` comes from
-// CollectStatusFunctions over the whole tree.
-[[nodiscard]] std::vector<Finding> LintFile(
-    const SourceFile& file, const std::set<std::string>& status_functions);
-
-// Convenience: both passes over an in-memory file set.
+// Runs every per-file rule over the file set; with a non-null `spec`, also
+// runs the include-graph layering pass over the files under src/.
 [[nodiscard]] std::vector<Finding> LintFiles(
-    const std::vector<SourceFile>& files);
+    const std::vector<SourceFile>& files, const LayerSpec* spec = nullptr);
 
 // Walks `subdirs` (repo-relative) under `repo_root`, lints every .h/.cc
-// file found. Paths are reported repo-relative.
+// file found. Paths are reported repo-relative. When
+// <repo_root>/tools/cimlint/layers.txt exists it is parsed and the layering
+// pass runs; a parse failure is reported as a layer-spec finding.
 [[nodiscard]] std::vector<Finding> LintTree(
     const std::filesystem::path& repo_root,
     const std::vector<std::string>& subdirs);
