@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Build the optimized preset and record the analog-kernel performance
-# numbers as JSON: raw Crossbar::Cycle ns/cell (reference vs SoA fast
-# path), the 128x128 tile MVM speedup, and end-to-end InferBatch
-# throughput. Writes BENCH_PR4.json at the repo root (CI uploads it as an
+# numbers as JSON, in quiet (sigma = 0) and noisy (sigma > 0) sections:
+# raw Crossbar::Cycle ns/cell and the 128x128 tile MVM speedup for all
+# three kernel policies, end-to-end InferBatch throughput, and the
+# kFastNoise statistical-equivalence verdict (KS + moments + NN top-1
+# parity). Writes BENCH_PR7.json at the repo root (CI uploads it as an
 # artifact; EXPERIMENTS.md § Simulator performance explains the numbers).
 #
 # Usage:
@@ -13,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset="relwithdebinfo"
-out="BENCH_PR4.json"
+out="BENCH_PR7.json"
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)" --target bench_mvm_kernel

@@ -66,15 +66,17 @@ run_preset() {
 }
 
 # Kernel perf gate: the perf-labeled suites (fast-vs-reference differential
-# tests + bench smoke) plus a full bench_mvm_kernel run, which enforces the
-# >= 4x quiet-device 128x128 MVM speedup and writes BENCH_PR4.json — the
-# artifact CI uploads and EXPERIMENTS.md § Simulator performance documents.
+# tests + the kFastNoise statistical-equivalence suite + bench smoke) plus a
+# full bench_mvm_kernel run, which enforces the >= 4x quiet-device bit-exact
+# and >= 5x noisy-device fast-noise 128x128 MVM speedups and writes
+# BENCH_PR7.json — the artifact CI uploads and EXPERIMENTS.md § Simulator
+# performance documents.
 run_perf_gate() {
   local preset="$1"
   echo "==> [$preset] ctest (perf label)"
   ctest --preset "$preset" -L perf
-  echo "==> [$preset] bench_mvm_kernel (speedup gate + BENCH_PR4.json)"
-  "./build/$preset/bench/bench_mvm_kernel" --json BENCH_PR4.json
+  echo "==> [$preset] bench_mvm_kernel (speedup gate + BENCH_PR7.json)"
+  "./build/$preset/bench/bench_mvm_kernel" --json BENCH_PR7.json
 }
 
 # Replay determinism gate: the fault ablation drives scenario-seeded

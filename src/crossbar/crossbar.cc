@@ -46,7 +46,9 @@ Expected<Crossbar> Crossbar::Create(const CrossbarParams& params, Rng rng) {
 }
 
 Crossbar::Crossbar(const CrossbarParams& params, Rng rng)
-    : params_(params), rng_(rng) {
+    : params_(params),
+      noise_(params.cell.read_noise_sigma, params.kernel),
+      rng_(rng) {
   cells_.reserve(params_.rows * params_.cols);
   for (std::size_t i = 0; i < params_.rows * params_.cols; ++i) {
     cells_.emplace_back(params_.cell);
@@ -213,11 +215,12 @@ void Crossbar::ForwardAccumulateFast(const DrivePattern& drive, Rng& rng,
   const std::size_t cols = params_.cols;
   const double sigma = params_.cell.read_noise_sigma;
   const double ceiling = params_.cell.g_on_siemens * 1.5;
-  // Per driven row: draw the row's noise factors into a scratch buffer in
-  // the same order the reference kernel consumes the stream (row-major,
-  // every column of an active row), then run a dense accumulate over the
-  // contiguous conductance mirror. The two loops split the serial RNG
-  // dependency chain from the arithmetic, so the second loop
+  // Per driven row: draw the row's noise factors into a scratch buffer —
+  // under the bit-exact policies in the same order the reference kernel
+  // consumes the stream (row-major, every column of an active row), under
+  // kFastNoise from the NoiseModel's counter-based streams — then run a
+  // dense accumulate over the contiguous conductance mirror. The two loops
+  // split the sampling from the arithmetic, so the second loop
   // auto-vectorizes; each column owns an independent accumulator chain, so
   // vectorizing across columns cannot reorder any FP sum.
   thread_local std::vector<double> factors;
@@ -232,9 +235,7 @@ void Crossbar::ForwardAccumulateFast(const DrivePattern& drive, Rng& rng,
     double* __restrict cur = currents.data();
     if (sigma > 0.0) {
       double* __restrict f = factors.data();
-      for (std::size_t c = 0; c < cols; ++c) {
-        f[c] = rng.LogNormal(0.0, sigma);
-      }
+      noise_.FillFactors(rng, f, cols);
       for (std::size_t c = 0; c < cols; ++c) {
         const double g = std::clamp(g_row[c] * f[c], 0.0, ceiling);
         cur[c] += v * g;
@@ -285,9 +286,7 @@ void Crossbar::TransposeAccumulateFast(const DrivePattern& drive, Rng& rng,
     double* __restrict cur = currents.data();
     if (sigma > 0.0) {
       double* __restrict f = factors.data();
-      for (std::size_t r = 0; r < rows; ++r) {
-        f[r] = rng.LogNormal(0.0, sigma);
-      }
+      noise_.FillFactors(rng, f, rows);
       for (std::size_t r = 0; r < rows; ++r) {
         const double g = std::clamp(g_col[r] * f[r], 0.0, ceiling);
         cur[r] += v * g;
@@ -337,7 +336,7 @@ Expected<AnalogCycleResult> Crossbar::CycleDriven(const DrivePattern& drive,
   // (conductance-proportional) read energy; only gated columns get sensed.
   std::vector<double> currents(params_.cols, 0.0);
   double energy_pj = 0.0;
-  if (params_.reference_kernel) {
+  if (params_.kernel == device::KernelPolicy::kReference) {
     ForwardAccumulateReference(drive, rng, currents, energy_pj);
   } else {
     ForwardAccumulateFast(drive, rng, currents, energy_pj);
@@ -404,7 +403,7 @@ Expected<AnalogCycleResult> Crossbar::CycleTransposeDriven(
 
   std::vector<double> currents(params_.rows, 0.0);
   double energy_pj = 0.0;
-  if (params_.reference_kernel) {
+  if (params_.kernel == device::KernelPolicy::kReference) {
     TransposeAccumulateReference(drive, rng, currents, energy_pj);
   } else {
     TransposeAccumulateFast(drive, rng, currents, energy_pj);

@@ -12,11 +12,11 @@
 // cycle hot loop runs on a structure-of-arrays mirror — a contiguous
 // fault-adjusted conductance plane plus per-row/per-column read-energy sums
 // — refreshed whenever a mutation (ProgramLevels / ProgramCell / Age /
-// InjectCellFault) dirties it. The mirror kernel is bit-identical to the
-// original per-cell walk (same RNG draw order, same per-column FP
-// accumulation order); the per-cell walk is kept behind
-// CrossbarParams::reference_kernel for the differential test and the
-// bench_mvm_kernel speedup measurement.
+// InjectCellFault) dirties it. Which kernel runs — and which correctness
+// contract it carries — is selected by CrossbarParams::kernel (see
+// device::KernelPolicy): the per-cell reference walk, the bit-identical SoA
+// fast path, or the statistically-equivalent fast-noise path whose lognormal
+// sampling is owned by device::NoiseModel.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +29,7 @@
 #include "common/status.h"
 #include "crossbar/adc.h"
 #include "device/memristor.h"
+#include "device/noise_model.h"
 
 namespace cim::crossbar {
 
@@ -48,13 +49,19 @@ struct CrossbarParams {
   // Rows programmed in parallel during a weight write (write verify is
   // per-row in this model).
   bool parallel_row_write = true;
-  // Run the original array-of-structs per-cell kernel instead of the SoA
-  // fast path. Column codes (and transpose row codes) are bit-identical
-  // either way — the kernel differential test enforces it; only cycle
-  // energy differs in the last ulps (the fast path sums read energy
-  // analytically per row instead of per cell). Exists for that test and
-  // for the bench_mvm_kernel speedup measurement.
-  bool reference_kernel = false;
+  // Which cycle kernel runs and which correctness contract it carries:
+  //   kReference    — original array-of-structs per-cell walk (golden).
+  //   kFastBitExact — SoA fast path, bit-identical column codes / transpose
+  //                   row codes to kReference (the kernel differential test
+  //                   enforces it; only cycle energy differs in the last
+  //                   ulps, since read energy folds to one analytic add per
+  //                   driven line).
+  //   kFastNoise    — SoA fast path with device::NoiseModel's counter-based
+  //                   vectorizable sampler: statistically equivalent noise
+  //                   (KS + moment gate, NN accuracy parity), not
+  //                   bit-identical. The serving configuration for noisy
+  //                   devices.
+  device::KernelPolicy kernel = device::KernelPolicy::kFastBitExact;
 
   [[nodiscard]] Status Validate() const;
 };
@@ -191,10 +198,13 @@ class Crossbar {
   void RefreshMirror();
   void RefreshMirrorCell(std::size_t row, std::size_t col);
 
-  // The two kernel twins behind CycleDriven/CycleTransposeDriven: walk the
+  // The kernel twins behind CycleDriven/CycleTransposeDriven: walk the
   // driven lines, accumulate noisy currents into `currents` and read+drive
-  // energy into `energy_pj`. Identical column codes by construction; the
-  // differential test (mvm_kernel_test) enforces it.
+  // energy into `energy_pj`. The Fast variants serve both kFastBitExact and
+  // kFastNoise — noise_.FillFactors owns the sampling difference; identical
+  // column codes between kReference and kFastBitExact by construction (the
+  // differential test, mvm_kernel_test, enforces it), statistical
+  // equivalence for kFastNoise (noise_equivalence_test + bench gate).
   void ForwardAccumulateReference(const DrivePattern& drive, Rng& rng,
                                   std::span<double> currents,
                                   double& energy_pj);
@@ -207,6 +217,9 @@ class Crossbar {
                                std::span<double> currents, double& energy_pj);
 
   CrossbarParams params_;
+  // Sampling strategy for the fast kernels' read-noise factors, fixed at
+  // construction from (cell.read_noise_sigma, kernel policy).
+  device::NoiseModel noise_;
   std::vector<device::MemristorCell> cells_;
   // SoA mirror of cells_: contiguous fault-adjusted conductances (row
   // major, plus a column-major copy so the transpose direction also walks

@@ -96,7 +96,10 @@ ReadResult MemristorCell::Read(const MemristorParams& p,
   if (fault_ == CellFault::kStuckOn) g = p.g_on_siemens;
   if (fault_ == CellFault::kStuckOff) g = p.g_off_siemens;
   if (p.read_noise_sigma > 0.0) {
-    g *= rng.LogNormal(0.0, p.read_noise_sigma);
+    // The golden per-cell reference draw: this call DEFINES the noise
+    // stream the bit-exact kernels must reproduce, so it stays a direct
+    // draw rather than routing through NoiseModel::FillFactors.
+    g *= rng.LogNormal(0.0, p.read_noise_sigma);  // cimlint: allow-lognormal
   }
   result.conductance_siemens =
       std::clamp(g, 0.0, p.g_on_siemens * 1.5);  // soft physical ceiling

@@ -1,0 +1,138 @@
+// Read-noise sampling strategy and its equivalence contract.
+//
+// The crossbar kernels multiply every sensed conductance by a lognormal
+// read-noise factor. How those factors are *sampled* is a kernel-policy
+// decision with a correctness contract attached:
+//
+//   KernelPolicy::kReference    per-cell AoS kernel; scalar libm sampling.
+//                               The golden model — defines the stream.
+//   KernelPolicy::kFastBitExact SoA two-pass kernel; scalar libm sampling
+//                               in the reference draw order. Contract:
+//                               bit-identical outputs to kReference.
+//   KernelPolicy::kFastNoise    SoA kernel; factors served from a
+//                               precomputed noise tile — an exact
+//                               LogNormal(0, sigma) quantile lattice,
+//                               shuffled once with counter-based hashes —
+//                               at a fresh random rotation per row draw.
+//                               Contract: *statistical* equivalence — the
+//                               factors follow the same LogNormal(0,
+//                               sigma) distribution (KS + moment gate) and
+//                               end-to-end NN accuracy is at parity, but
+//                               individual draws differ from the
+//                               reference stream.
+//
+// NoiseModel owns both halves: FillFactors() is the sampler the fast
+// kernels call, and CheckEquivalence() is the gate the differential suite
+// and the bench use to enforce the kFastNoise contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cim::device {
+
+enum class KernelPolicy : std::uint8_t {
+  kReference = 0,
+  kFastBitExact,
+  kFastNoise,
+};
+
+[[nodiscard]] std::string KernelPolicyName(KernelPolicy policy);
+
+class NoiseModel {
+ public:
+  // One tile entry per quantile of the contract distribution; 2^16 entries
+  // (512 KiB) keeps the lattice's own KS distance (~1/2^17) four orders of
+  // magnitude under the gate threshold while the tile stays L2-resident.
+  static constexpr std::size_t kTileSize = std::size_t{1} << 16;
+
+  NoiseModel() = default;
+  NoiseModel(double sigma, KernelPolicy policy)
+      : sigma_(sigma), policy_(policy) {
+    if (policy_ == KernelPolicy::kFastNoise && enabled()) BuildTile();
+  }
+
+  [[nodiscard]] double sigma() const { return sigma_; }
+  [[nodiscard]] KernelPolicy policy() const { return policy_; }
+  [[nodiscard]] bool enabled() const { return sigma_ > 0.0; }
+  // True when the sampler reproduces the reference RNG stream draw for
+  // draw (the bit-identity contract); false when the contract is
+  // distributional only.
+  [[nodiscard]] bool bit_exact() const {
+    return policy_ != KernelPolicy::kFastNoise;
+  }
+
+  // Fill out[0..n) with multiplicative read-noise factors.
+  //
+  //   kReference / kFastBitExact: consumes exactly n LogNormal draws from
+  //     `rng`, in order — bit-identical to the reference kernel's stream.
+  //   kFastNoise: consumes exactly ONE u64 from `rng` (the tile rotation)
+  //     and copies n consecutive entries of the precomputed noise tile,
+  //     wrapping around — per-factor cost is an L2 load, not libm.
+  //
+  // Callers pass one call per active row; the serial draw keeps successive
+  // rows (and successive cycles) on decorrelated tile windows.
+  void FillFactors(Rng& rng, double* out, std::size_t n) const;
+
+  // ---- The statistical-equivalence contract -------------------------------
+
+  struct EquivalenceReport {
+    std::size_t samples = 0;
+    double ks_statistic = 0.0;   // sup-norm vs the LogNormal(0, sigma) CDF
+    double ks_threshold = 0.0;   // c(alpha=0.01)/sqrt(n), c = 1.628
+    double mean_log = 0.0;       // mean of ln(factor); contract: 0
+    double mean_log_bound = 0.0; // z=3.29 (two-sided 0.1%) * sigma/sqrt(n)
+    double var_log = 0.0;        // variance of ln(factor); contract: sigma^2
+    double var_log_bound = 0.0;  // z * sigma^2 * sqrt(2/(n-1))
+    bool ks_pass = false;
+    bool moments_pass = false;
+    [[nodiscard]] bool pass() const { return ks_pass && moments_pass; }
+  };
+
+  // Gate `factors` against this model's contract distribution
+  // LogNormal(0, sigma): one-sample KS test plus first/second moment tests
+  // on ln(factor). Used by the differential suite and bench_mvm_kernel.
+  [[nodiscard]] EquivalenceReport CheckEquivalence(
+      const std::vector<double>& factors) const;
+
+  // CDF of LogNormal(mu, sigma) at x (0 for x <= 0). Exposed for the
+  // test-side KS helpers.
+  [[nodiscard]] static double LogNormalCdf(double x, double mu, double sigma);
+
+ private:
+  // Fills tile_ with exp(sigma * Phi^-1((i + 0.5) / kTileSize)) — the exact
+  // midpoint-quantile lattice of LogNormal(0, sigma) — then Fisher-Yates
+  // shuffles it with counter-based hashes so any contiguous window is a
+  // simple random sample of the lattice.
+  void BuildTile();
+
+  double sigma_ = 0.0;
+  KernelPolicy policy_ = KernelPolicy::kFastBitExact;
+  std::vector<double> tile_;
+};
+
+namespace detail {
+// Branch-free polynomial exp: Cody-Waite range reduction to
+// [-ln2/2, ln2/2], degree-7 Taylor, exponent reassembly via bit twiddling.
+// Relative error < 6e-9 over |x| <= 16; input is clamped to that domain
+// (the sampler only ever needs |x| <= sigma * 9).
+[[nodiscard]] double FastExp(double x);
+
+// Acklam's rational approximation of the inverse standard-normal CDF,
+// u in (0, 1); relative error ~1.15e-9. The central region
+// |u - 0.5| <= 0.47575 (~95% of draws) is branchless polynomial work; the
+// tails fall back to a sqrt(-2 log u) form. This is the quantile function
+// the noise tile is built from.
+[[nodiscard]] double InverseNormalCdf(double u);
+
+// The counter-based uniform underlying the tile shuffle: splitmix64
+// finalizer of (stream, index) mapped into (0, 1). Exposed so tests can
+// pin the stream.
+[[nodiscard]] double CounterUniform(std::uint64_t stream, std::uint64_t index);
+}  // namespace detail
+
+}  // namespace cim::device

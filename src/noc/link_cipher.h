@@ -1,8 +1,8 @@
 // Packet-in-flight encryption and authentication (§IV.A).
 //
 // This is a *link-layer* primitive: it operates on packet payload bytes as
-// they cross the mesh, so it lives in the NoC layer (the security module
-// re-exports it for policy-level code — see src/security/cipher.h and
+// they cross the mesh, so it lives in the NoC layer; policy-level code and
+// the security suite include it from here directly (see
 // tools/cimlint/layers.txt for the layering rationale).
 //
 // SIMULATION NOTE: this models the *cost and plumbing* of link encryption —

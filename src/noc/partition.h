@@ -3,8 +3,8 @@
 // explicit flow was granted — the NFV-style slicing the paper describes.
 //
 // Admission is enforced where packets are injected, so the mechanism lives
-// in the NoC layer; the security module re-exports it for policy-level code
-// (see src/security/partition.h and tools/cimlint/layers.txt).
+// in the NoC layer; policy-level code and the security suite include it
+// from here directly (see tools/cimlint/layers.txt for the layering).
 #pragma once
 
 #include <cstdint>

@@ -373,6 +373,56 @@ TEST(Pow2InHotPathRule, AllowPow2MarkerSuppresses) {
   EXPECT_TRUE(RuleFindings(LintFiles(files), "pow2-in-hot-path").empty());
 }
 
+// ---------------------------------------------------------------------------
+// lognormal-in-hot-path
+// ---------------------------------------------------------------------------
+
+TEST(LogNormalInHotPathRule, FiresOnDirectDrawsInAnalogHotPaths) {
+  const Files files = {
+      {"src/crossbar/kernel.cc",
+       "void A(Rng& rng) { f = rng.LogNormal(0.0, s); }\n"
+       "void B(Rng* rng) { f = rng->LogNormal(0.0, s); }\n"},
+      {"src/device/cell.cc",
+       "void C(Rng& rng) { g *= rng . LogNormal(0.0, s); }\n"}};
+  const auto findings =
+      RuleFindings(LintFiles(files), "lognormal-in-hot-path");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].file, "src/crossbar/kernel.cc");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[2].file, "src/device/cell.cc");
+}
+
+TEST(LogNormalInHotPathRule, SkipsNoiseModelAndOtherModules) {
+  const Files files = {
+      // The sanctioned home of the direct draw.
+      {"src/device/noise_model.cc",
+       "void A(Rng& rng) { out[i] = rng.LogNormal(0.0, s); }\n"},
+      // Outside the analog hot paths, the rule does not apply.
+      {"src/reliability/drift.cc",
+       "void B(Rng& rng) { d = rng.LogNormal(0.0, s); }\n"},
+      {"tests/noise_test.cc",
+       "void C(Rng& rng) { f = rng.LogNormal(0.0, s); }\n"},
+      // A declaration or unrelated identifier is not a draw.
+      {"src/crossbar/kernel.h",
+       "#pragma once\n"
+       "double LogNormal(double mu, double sigma);\n"}};
+  EXPECT_TRUE(
+      RuleFindings(LintFiles(files), "lognormal-in-hot-path").empty());
+}
+
+TEST(LogNormalInHotPathRule, AllowLogNormalMarkerSuppresses) {
+  const Files files = {
+      {"src/device/cell.cc",
+       "// the golden reference draw. cimlint: allow-lognormal\n"
+       "void A(Rng& rng) { g *= rng.LogNormal(0.0, s); }\n"
+       "void B(Rng& rng) { g *= rng.LogNormal(0.0, s); }  "
+       "// cimlint: allow-lognormal\n"
+       "void C(Rng& rng) { g *= rng.LogNormal(0.0, s); }  "
+       "// cimlint: allow(lognormal-in-hot-path)\n"}};
+  EXPECT_TRUE(
+      RuleFindings(LintFiles(files), "lognormal-in-hot-path").empty());
+}
+
 TEST(CollectStatusFunctions, FindsDeclarationsAndFiltersAmbiguity) {
   const Files files = {
       {"src/a.h",
@@ -861,7 +911,7 @@ TEST(SarifEmitter, SkeletonRuleIndexAndFingerprint) {
   EXPECT_NE(out.find("\"version\": \"2.1.0\""), std::string::npos);
   EXPECT_NE(out.find("\"name\": \"cimlint\""), std::string::npos);
   EXPECT_NE(out.find("\"ruleId\": \"raw-rng\""), std::string::npos);
-  EXPECT_NE(out.find("\"ruleIndex\": 11"), std::string::npos);
+  EXPECT_NE(out.find("\"ruleIndex\": 12"), std::string::npos);
   EXPECT_NE(out.find("\"startLine\": 3"), std::string::npos);
   EXPECT_NE(out.find("\"uriBaseId\": \"SRCROOT\""), std::string::npos);
   EXPECT_NE(out.find("\"cimlintKey/v1\": \"src/a.cc:raw-rng:k\""),

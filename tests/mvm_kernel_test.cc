@@ -1,9 +1,11 @@
 // Differential tests for the SoA fast-path analog kernels.
 //
 // Every suite here runs the same computation through the fast
-// (structure-of-arrays) kernel and the reference (per-cell) kernel kept
-// behind CrossbarParams::reference_kernel, and demands *bit-identical*
-// logical outputs: y, guard verdicts, raw column codes. Only cycle energy
+// (structure-of-arrays) kernel (KernelPolicy::kFastBitExact) and the
+// reference (per-cell) kernel kept behind KernelPolicy::kReference, and
+// demands *bit-identical* logical outputs: y, guard verdicts, raw column
+// codes. (KernelPolicy::kFastNoise carries a statistical contract instead
+// — see noise_equivalence_test.cc.) Only cycle energy
 // may differ (the fast path sums read energy analytically per row), and
 // only in the last ulps. The mirror-invalidation suites separately pin
 // that every mutation kind (program, reprogram, single-cell program, age,
@@ -25,11 +27,11 @@ namespace {
 
 constexpr std::uint64_t kSeed = 0xC1D4'57A6ULL;
 
-MvmEngineParams NoisyEngineParams(bool reference_kernel, bool guard) {
+MvmEngineParams NoisyEngineParams(device::KernelPolicy kernel, bool guard) {
   MvmEngineParams p;
   p.array.rows = 32;
   p.array.cols = 32;
-  p.array.reference_kernel = reference_kernel;
+  p.array.kernel = kernel;
   p.guard_column = guard;
   // Defaults keep read noise on (sigma 0.02): the differential contract is
   // about the noise stream above all else.
@@ -56,10 +58,12 @@ struct EnginePair {
 };
 
 EnginePair MakeTwins(bool guard, std::size_t in_dim, std::size_t out_dim) {
-  auto fast = MvmEngine::Create(NoisyEngineParams(false, guard), in_dim,
-                                out_dim, Rng(kSeed));
-  auto reference = MvmEngine::Create(NoisyEngineParams(true, guard), in_dim,
-                                     out_dim, Rng(kSeed));
+  auto fast = MvmEngine::Create(
+      NoisyEngineParams(device::KernelPolicy::kFastBitExact, guard), in_dim,
+      out_dim, Rng(kSeed));
+  auto reference = MvmEngine::Create(
+      NoisyEngineParams(device::KernelPolicy::kReference, guard), in_dim,
+      out_dim, Rng(kSeed));
   EXPECT_TRUE(fast.ok() && reference.ok());
   Rng wrng(kSeed + 1);
   const std::vector<double> w = RandomWeights(in_dim * out_dim, wrng);
@@ -177,11 +181,11 @@ TEST(KernelDifferentialTest, InternalNoiseStreamsStayInLockstep) {
 
 // -- Raw crossbar codes -----------------------------------------------------
 
-CrossbarParams NoisyArrayParams(bool reference_kernel) {
+CrossbarParams NoisyArrayParams(device::KernelPolicy kernel) {
   CrossbarParams p;
   p.rows = 24;
   p.cols = 20;
-  p.reference_kernel = reference_kernel;
+  p.kernel = kernel;
   return p;
 }
 
@@ -195,8 +199,10 @@ std::vector<std::uint64_t> RandomLevels(const CrossbarParams& p, Rng& rng) {
 }
 
 TEST(KernelDifferentialTest, RawCycleColumnCodesBitIdentical) {
-  auto fast = Crossbar::Create(NoisyArrayParams(false), Rng(kSeed));
-  auto reference = Crossbar::Create(NoisyArrayParams(true), Rng(kSeed));
+  auto fast = Crossbar::Create(
+      NoisyArrayParams(device::KernelPolicy::kFastBitExact), Rng(kSeed));
+  auto reference = Crossbar::Create(
+      NoisyArrayParams(device::KernelPolicy::kReference), Rng(kSeed));
   ASSERT_TRUE(fast.ok() && reference.ok());
   Rng lrng(kSeed + 7);
   const auto levels = RandomLevels(fast->params(), lrng);
@@ -323,8 +329,9 @@ TEST(TransposeConcurrencyTest, ExternalRngKeepsConcurrentBackwardBitIdentical) {
   // derived noise stream. With an external Rng, CycleTranspose mutates no
   // crossbar state, so concurrent calls must be race-free (TSan runs this
   // suite) and bit-identical to the serial execution.
-  auto created = MvmEngine::Create(NoisyEngineParams(false, false), 24, 20,
-                                   Rng(kSeed));
+  auto created = MvmEngine::Create(
+      NoisyEngineParams(device::KernelPolicy::kFastBitExact, false), 24, 20,
+      Rng(kSeed));
   ASSERT_TRUE(created.ok());
   MvmEngine& engine = created.value();
   Rng wrng(kSeed + 10);

@@ -12,9 +12,9 @@
 #include "dataflow/graph.h"
 #include "dataflow/placer.h"
 #include "logic/associative.h"
+#include "noc/link_cipher.h"
 #include "noc/mesh.h"
 #include "runtime/memoization.h"
-#include "security/cipher.h"
 
 namespace cim {
 namespace {
@@ -28,7 +28,7 @@ TEST_P(CipherProperty, RoundTripAndTamperDetection) {
   for (int trial = 0; trial < 20; ++trial) {
     const std::uint64_t key = rng.NextU64();
     const std::uint64_t nonce = rng.NextU64();
-    security::StreamCipher cipher(key);
+    noc::StreamCipher cipher(key);
     std::vector<std::uint8_t> data(GetParam());
     for (auto& b : data) b = static_cast<std::uint8_t>(rng.NextBounded(256));
     const std::vector<std::uint8_t> original = data;

@@ -1,15 +1,20 @@
-// Tests for the security layer: packet cipher, capability tokens, and
-// partition isolation (§IV).
+// Tests for the security mechanisms (§IV): the NoC-layer packet cipher and
+// partition admission, plus the security layer's capability tokens.
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "noc/link_cipher.h"
+#include "noc/partition.h"
 #include "security/capability.h"
-#include "security/cipher.h"
-#include "security/partition.h"
 
 namespace cim::security {
 namespace {
+
+// The cipher and partition manager live in the NoC layer (they act on
+// packets at injection); the policy-level suite pulls them in by name.
+using noc::PartitionManager;
+using noc::StreamCipher;
 
 std::vector<std::uint8_t> Bytes(std::initializer_list<int> values) {
   std::vector<std::uint8_t> out;

@@ -1,0 +1,94 @@
+// Reusable distributional test helpers: one-sample Kolmogorov-Smirnov and
+// z-bounded moment checks.
+//
+// These back the kFastNoise statistical-equivalence suite
+// (noise_equivalence_test.cc) and are written against arbitrary CDFs so
+// future samplers (drift models, programming noise) can reuse them.
+// stat_utils_test.cc pins their power: they accept the reference sampler
+// and reject deliberately biased ones at fixed seeds.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace cim::stat_utils {
+
+// Sup-norm distance between the empirical CDF of `samples` and the model
+// CDF. The empirical CDF steps at each sorted sample, so the supremum is
+// attained just before or at a step: max(cdf(x_i) - i/n, (i+1)/n - cdf(x_i)).
+template <typename Cdf>
+[[nodiscard]] double KsStatistic(std::vector<double> samples, Cdf&& cdf) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double model = cdf(samples[i]);
+    d = std::max({d, model - static_cast<double>(i) / n,
+                  static_cast<double>(i + 1) / n - model});
+  }
+  return d;
+}
+
+// Critical value c(alpha)/sqrt(n) of the one-sample KS statistic;
+// c = 1.628 is the alpha = 0.01 asymptotic constant.
+[[nodiscard]] inline double KsThreshold(std::size_t n, double c = 1.628) {
+  return c / std::sqrt(static_cast<double>(n));
+}
+
+struct SampleMoments {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // unbiased (n - 1 denominator)
+};
+
+[[nodiscard]] inline SampleMoments Moments(
+    const std::vector<double>& samples) {
+  SampleMoments m;
+  m.n = samples.size();
+  if (m.n == 0) return m;
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  m.mean = sum / static_cast<double>(m.n);
+  if (m.n < 2) return m;
+  double ss = 0.0;
+  for (const double s : samples) {
+    const double dev = s - m.mean;
+    ss += dev * dev;
+  }
+  m.variance = ss / static_cast<double>(m.n - 1);
+  return m;
+}
+
+// z-bounded check of sample moments against a Normal(mu, sigma^2) model:
+// the sample mean is Normal(mu, sigma^2/n) and the sample variance has
+// standard error ~ sigma^2 * sqrt(2/(n-1)). Default z = 3.29 (two-sided
+// 0.1%), matching NoiseModel::CheckEquivalence.
+struct MomentCheck {
+  double mean_error = 0.0;
+  double mean_bound = 0.0;
+  double var_error = 0.0;
+  double var_bound = 0.0;
+  bool mean_pass = false;
+  bool var_pass = false;
+  [[nodiscard]] bool pass() const { return mean_pass && var_pass; }
+};
+
+[[nodiscard]] inline MomentCheck CheckNormalMoments(const SampleMoments& m,
+                                                    double mu, double sigma,
+                                                    double z = 3.29) {
+  MomentCheck check;
+  if (m.n < 2) return check;
+  const auto n = static_cast<double>(m.n);
+  check.mean_error = std::abs(m.mean - mu);
+  check.mean_bound = z * sigma / std::sqrt(n);
+  check.var_error = std::abs(m.variance - sigma * sigma);
+  check.var_bound = z * sigma * sigma * std::sqrt(2.0 / (n - 1.0));
+  check.mean_pass = check.mean_error <= check.mean_bound;
+  check.var_pass = check.var_error <= check.var_bound;
+  return check;
+}
+
+}  // namespace cim::stat_utils

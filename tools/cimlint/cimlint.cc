@@ -240,6 +240,11 @@ std::vector<Suppression> ParseSuppressions(
                                    "allow-pow2", false});
         continue;
       }
+      if (text.compare(p, 15, "allow-lognormal") == 0) {
+        sups.push_back(Suppression{line, Suppression::Kind::kMarker,
+                                   "allow-lognormal", false});
+        continue;
+      }
       (void)parse_paren_name("allow(", Suppression::Kind::kRule);
     }
   }
@@ -526,6 +531,33 @@ void CheckPow2InHotPath(FileContext& ctx, std::vector<Finding>& findings) {
            "std::pow(2, ...) in model code; use a shift-derived constant or "
            "std::ldexp(1.0, n), or justify a non-integer exponent with "
            "`// cimlint: allow-pow2`",
+           findings);
+  }
+}
+
+void CheckLogNormalInHotPath(FileContext& ctx,
+                             std::vector<Finding>& findings) {
+  // The analog hot paths (crossbar cycle kernels and the device read path
+  // feeding them) must source read-noise factors through
+  // device::NoiseModel::FillFactors so the kernel policy — reference /
+  // fast-bit-exact / fast-noise — stays in control of the sampler and its
+  // equivalence contract. noise_model.cc is the sanctioned home of the
+  // direct draw; the golden per-cell reference path justifies its own draw
+  // with the `// cimlint: allow-lognormal` escape.
+  const std::string& path = ctx.file->repo_path;
+  if (path == "src/device/noise_model.cc") return;
+  if (!StartsWith(path, "src/crossbar/") &&
+      !StartsWith(path, "src/device/")) {
+    return;
+  }
+  static const std::regex kLogNormal(R"((\.|->)\s*LogNormal\s*\()");
+  for (std::size_t i = 0; i < ctx.stripped.code.size(); ++i) {
+    if (!std::regex_search(ctx.stripped.code[i], kLogNormal)) continue;
+    if (MarkerAllows(ctx, i, "allow-lognormal")) continue;
+    Report(ctx, i, "lognormal-in-hot-path", "",
+           "direct LogNormal draw in an analog hot path; route sampling "
+           "through device::NoiseModel::FillFactors so the kernel policy "
+           "owns the sampler, or justify with `// cimlint: allow-lognormal`",
            findings);
   }
 }
@@ -1251,6 +1283,8 @@ constexpr RuleInfo kRules[] = {
     {"layer-spec", "tools/cimlint/layers.txt is malformed"},
     {"layer-unknown-module", "src/ module missing from layers.txt"},
     {"layer-upward-include", "include of a module in a higher layer"},
+    {"lognormal-in-hot-path",
+     "direct LogNormal draw outside NoiseModel in analog hot paths"},
     {"magic-unit-literal", "inline TimeNs/EnergyPj constant in model code"},
     {"nested-parallel-region", "ParallelFor/Submit inside a parallel region"},
     {"nondeterministic-seed", "seed from wall clock or object address"},
@@ -1520,6 +1554,7 @@ std::vector<Finding> LintFiles(const std::vector<SourceFile>& files,
     CheckUnusedStatus(ctx, status_functions, findings);
     CheckDiscardedStatus(ctx, status_functions, findings);
     CheckPow2InHotPath(ctx, findings);
+    CheckLogNormalInHotPath(ctx, findings);
     CheckNestedParallel(ctx, findings);
     CheckThreadLocalInParallel(ctx, findings);
     CheckNondeterministicSeed(ctx, findings);

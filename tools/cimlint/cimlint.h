@@ -74,6 +74,16 @@
 //                          with `// cimlint: allow-pow2` on the same or
 //                          previous line. bench/, examples/ and tests/ are
 //                          out of scope.
+//   lognormal-in-hot-path  A direct `.LogNormal(`/`->LogNormal(` draw in
+//                          src/crossbar/ or src/device/ outside
+//                          device/noise_model.cc. Read-noise sampling in
+//                          the analog hot paths goes through
+//                          NoiseModel::FillFactors so the kernel policy
+//                          (reference / fast-bit-exact / fast-noise) owns
+//                          the sampler and its equivalence contract. The
+//                          golden per-cell reference draw is justified
+//                          with `// cimlint: allow-lognormal` on the same
+//                          or previous line.
 //   layer-upward-include   An `#include` under src/ whose target module
 //                          sits in a higher layer of layers.txt than the
 //                          including module. A module may include itself,
