@@ -28,8 +28,8 @@
 //                  timing gates are skipped because sanitizers distort
 //                  ratios)
 //   --json <path>  write the measurements as JSON with quiet/noisy
-//                  sections (scripts/bench_json.sh uses this to produce
-//                  BENCH_PR7.json)
+//                  sections (scripts/bench_json.sh merges this with the
+//                  bench_serve_latency report into BENCH_PR8.json)
 #include <chrono>
 #include <cmath>
 #include <cstdint>

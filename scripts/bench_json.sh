@@ -1,24 +1,52 @@
 #!/usr/bin/env bash
-# Build the optimized preset and record the analog-kernel performance
-# numbers as JSON, in quiet (sigma = 0) and noisy (sigma > 0) sections:
-# raw Crossbar::Cycle ns/cell and the 128x128 tile MVM speedup for all
-# three kernel policies, end-to-end InferBatch throughput, and the
-# kFastNoise statistical-equivalence verdict (KS + moments + NN top-1
-# parity). Writes BENCH_PR7.json at the repo root (CI uploads it as an
-# artifact; EXPERIMENTS.md § Simulator performance explains the numbers).
+# Build the optimized preset and record the PR's performance numbers as one
+# merged JSON artifact. Each bench binary listed in `benches` writes its own
+# JSON report (--json), and the reports are embedded verbatim as elements of
+# the top-level "benches" array:
+#
+#   bench_mvm_kernel     analog-kernel numbers — Crossbar::Cycle ns/cell,
+#                        128x128 tile MVM speedups, InferBatch throughput,
+#                        and the kFastNoise statistical-equivalence verdict.
+#   bench_serve_latency  DpeService virtual-time serving — p50/p99/p999,
+#                        sustained QPS, rejection/degrade rates, and the
+#                        chaos availability/recovery gates (all virtual
+#                        time, so the report is byte-identical on replay).
+#
+# Writes BENCH_PR8.json at the repo root (CI uploads it as an artifact;
+# EXPERIMENTS.md explains the numbers).
 #
 # Usage:
-#   scripts/bench_json.sh            # full timing windows (~20 s)
+#   scripts/bench_json.sh            # full timing windows / request counts
 #   scripts/bench_json.sh --smoke    # short windows (CI / quick sanity)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 preset="relwithdebinfo"
-out="BENCH_PR7.json"
+out="BENCH_PR8.json"
+benches=(bench_mvm_kernel bench_serve_latency)
 
 cmake --preset "$preset"
-cmake --build --preset "$preset" -j "$(nproc)" --target bench_mvm_kernel
+cmake --build --preset "$preset" -j "$(nproc)" --target "${benches[@]}"
 
-"./build/$preset/bench/bench_mvm_kernel" "$@" --json "$out"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for bench in "${benches[@]}"; do
+  "./build/$preset/bench/$bench" "$@" --json "$tmpdir/$bench.json"
+done
+
+{
+  echo '{'
+  echo "  \"artifact\": \"$out\","
+  echo '  "benches": ['
+  last=$((${#benches[@]} - 1))
+  for i in "${!benches[@]}"; do
+    suffix=""
+    [[ "$i" -lt "$last" ]] && suffix=","
+    sed 's/^/    /' "$tmpdir/${benches[$i]}.json" | sed "\$s/\$/$suffix/"
+  done
+  echo '  ]'
+  echo '}'
+} > "$out"
 echo "==> $out"

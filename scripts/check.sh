@@ -52,31 +52,63 @@ run_preset() {
   if [[ "$preset" == "tsan" ]]; then
     # tsan builds everything but runs only the concurrency-labeled suites
     # (the preset's test filter): ThreadSanitizer on the thread pool and
-    # the batched DPE runtime.
+    # the batched DPE runtime. The serve label runs explicitly on top —
+    # the dispatcher thread and re-entrant handlers are the most
+    # concurrency-dense code in the repo, and the label reaches the bench
+    # smoke the concurrency filter would skip.
     echo "==> [$preset] ctest (concurrency label)"
     ctest --preset "$preset"
+    echo "==> [$preset] ctest (serve label)"
+    ctest --test-dir "build/$preset" -L serve --output-on-failure
     return 0
   fi
   echo "==> [$preset] ctest"
   ctest --preset "$preset"
+  echo "==> [$preset] ctest (serve label)"
+  ctest --preset "$preset" -L serve
   if [[ "$preset" == "relwithdebinfo" ]]; then
     run_fault_determinism_gate "$preset"
+    run_serve_determinism_gate "$preset"
     run_perf_gate "$preset"
   fi
 }
 
-# Kernel perf gate: the perf-labeled suites (fast-vs-reference differential
-# tests + the kFastNoise statistical-equivalence suite + bench smoke) plus a
-# full bench_mvm_kernel run, which enforces the >= 4x quiet-device bit-exact
-# and >= 5x noisy-device fast-noise 128x128 MVM speedups and writes
-# BENCH_PR7.json — the artifact CI uploads and EXPERIMENTS.md § Simulator
-# performance documents.
+# Perf gate: the perf-labeled suites (fast-vs-reference differential tests
+# + the kFastNoise statistical-equivalence suite + both bench smokes) plus
+# the full bench artifact build (scripts/bench_json.sh), which enforces the
+# kernel speedup gates and the serving availability/recovery gates and
+# writes the merged BENCH_PR8.json — the artifact CI uploads and
+# EXPERIMENTS.md documents.
 run_perf_gate() {
   local preset="$1"
   echo "==> [$preset] ctest (perf label)"
   ctest --preset "$preset" -L perf
-  echo "==> [$preset] bench_mvm_kernel (speedup gate + BENCH_PR7.json)"
-  "./build/$preset/bench/bench_mvm_kernel" --json BENCH_PR7.json
+  echo "==> [$preset] bench artifact (speedup + availability gates, BENCH_PR8.json)"
+  scripts/bench_json.sh
+}
+
+# Serving replay gate: every figure bench_serve_latency reports is derived
+# from the service's virtual clock, so two runs at the same seed must write
+# byte-identical JSON. A diff means batching, backoff, WFQ or the SLA loop
+# picked up hidden wall-clock or scheduling dependence.
+run_serve_determinism_gate() {
+  local preset="$1"
+  local bench="./build/$preset/bench/bench_serve_latency"
+  if [[ ! -x "$bench" ]]; then
+    echo "==> [$preset] serve determinism gate: bench not built; skipping"
+    return 0
+  fi
+  echo "==> [$preset] serve determinism gate (two identical replays)"
+  local run1 run2
+  run1="$(mktemp)" && run2="$(mktemp)"
+  "$bench" --smoke --json "$run1" > /dev/null
+  "$bench" --smoke --json "$run2" > /dev/null
+  if ! diff -u "$run1" "$run2"; then
+    echo "FAIL: serve bench JSON diverged between identical runs"
+    rm -f "$run1" "$run2"
+    return 1
+  fi
+  rm -f "$run1" "$run2"
 }
 
 # Replay determinism gate: the fault ablation drives scenario-seeded

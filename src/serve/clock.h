@@ -1,0 +1,40 @@
+// Deadline-aware blocking for the serving loop.
+//
+// The cimlint rule `blocking-in-server-loop` bans sleep_for/sleep_until and
+// unbounded condition_variable::wait inside src/serve/: a server loop that
+// blocks without a deadline can neither shed expired work nor observe a
+// shutdown request. Every real-time wait in the module goes through
+// DeadlineGate, whose only blocking primitive is a *bounded* predicate
+// wait — the wrapper the rule points offenders at.
+//
+// Real time only ever bounds how long the dispatcher naps between polls; it
+// is never observable in results (all latencies are virtual, request.h).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+
+namespace cim::serve {
+
+class DeadlineGate {
+ public:
+  // Wake every waiter; call after mutating the predicate's state.
+  void NotifyAll() { cv_.notify_all(); }
+
+  // Block until pred() holds or ~max_wait_ns of real time elapsed; returns
+  // pred(). `lock` must be held on entry and is released while waiting.
+  template <typename Pred>
+  bool WaitBounded(std::unique_lock<std::mutex>& lock,
+                   std::int64_t max_wait_ns, Pred pred) {
+    return cv_.wait_for(lock, std::chrono::nanoseconds(max_wait_ns),
+                        std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cim::serve

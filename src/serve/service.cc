@@ -1,0 +1,484 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace cim::serve {
+
+Status BatchingParams::Validate() const {
+  if (max_batch == 0) return InvalidArgument("max_batch must be > 0");
+  if (window_ns < 0.0 || min_window_ns < 0.0) {
+    return InvalidArgument("batching windows must be >= 0");
+  }
+  if (min_window_ns > max_window_ns) {
+    return InvalidArgument("min_window_ns > max_window_ns");
+  }
+  if (window_ns < min_window_ns || window_ns > max_window_ns) {
+    return InvalidArgument("window_ns outside [min_window_ns, max_window_ns]");
+  }
+  return Status::Ok();
+}
+
+Status AdmissionParams::Validate() const {
+  if (watermark == 0) return InvalidArgument("watermark must be > 0");
+  if (min_watermark == 0 || min_watermark > max_watermark) {
+    return InvalidArgument("bad watermark bounds");
+  }
+  if (watermark < min_watermark || watermark > max_watermark) {
+    return InvalidArgument("watermark outside [min_watermark, max_watermark]");
+  }
+  return Status::Ok();
+}
+
+Status RetryParams::Validate() const {
+  if (base_backoff_ns <= 0.0) {
+    return InvalidArgument("base_backoff_ns must be > 0");
+  }
+  if (jitter_fraction < 0.0) {
+    return InvalidArgument("jitter_fraction must be >= 0");
+  }
+  return Status::Ok();
+}
+
+Status SlaLoopParams::Validate() const {
+  if (!enabled) return Status::Ok();
+  if (target_latency_ns <= 0.0) {
+    return InvalidArgument("target_latency_ns must be > 0");
+  }
+  if (release_fraction <= 0.0 || release_fraction >= 1.0) {
+    return InvalidArgument("release_fraction must be in (0, 1)");
+  }
+  if (max_degraded_fraction < 0.0 || max_degraded_fraction > 1.0) {
+    return InvalidArgument("max_degraded_fraction must be in [0, 1]");
+  }
+  if (min_samples <= 0) return InvalidArgument("min_samples must be > 0");
+  if (evaluate_every == 0) {
+    return InvalidArgument("evaluate_every must be > 0");
+  }
+  if (quarantine_ns < 0.0) {
+    return InvalidArgument("quarantine_ns must be >= 0");
+  }
+  if (window_shrink <= 0.0 || window_shrink >= 1.0) {
+    return InvalidArgument("window_shrink must be in (0, 1)");
+  }
+  if (window_grow <= 1.0) return InvalidArgument("window_grow must be > 1");
+  return Status::Ok();
+}
+
+Status ServeParams::Validate() const {
+  if (Status s = batching.Validate(); !s.ok()) return s;
+  if (Status s = admission.Validate(); !s.ok()) return s;
+  if (Status s = retry.Validate(); !s.ok()) return s;
+  if (Status s = sla.Validate(); !s.ok()) return s;
+  if (idle_poll_ns <= 0) return InvalidArgument("idle_poll_ns must be > 0");
+  return Status::Ok();
+}
+
+double BackoffNs(const RetryParams& retry, std::uint64_t seed, RequestId id,
+                 std::uint32_t attempt) {
+  CIM_CHECK(attempt >= 1);
+  const double wait =
+      retry.base_backoff_ns * std::ldexp(1.0, static_cast<int>(attempt) - 1);
+  Rng rng(DeriveSeed(DeriveSeed(seed, id), attempt));
+  return wait * (1.0 + retry.jitter_fraction * rng.NextDouble());
+}
+
+Expected<std::unique_ptr<DpeService>> DpeService::Create(
+    const ServeParams& params, dpe::DpeAccelerator* accelerator,
+    const security::CapabilityAuthority* authority) {
+  if (accelerator == nullptr) {
+    return InvalidArgument("accelerator must not be null");
+  }
+  if (Status s = params.Validate(); !s.ok()) return s;
+  return std::unique_ptr<DpeService>(
+      new DpeService(params, accelerator, authority));
+}
+
+DpeService::DpeService(const ServeParams& params,
+                       dpe::DpeAccelerator* accelerator,
+                       const security::CapabilityAuthority* authority)
+    : params_(params),
+      accelerator_(accelerator),
+      authority_(authority),
+      window_ns_(params.batching.window_ns),
+      watermark_(params.admission.watermark) {}
+
+DpeService::~DpeService() {
+  if (dispatcher_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    gate_.NotifyAll();
+    dispatcher_.reset();  // joins after the drain
+  }
+}
+
+Status DpeService::AddTenant(const TenantConfig& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) {
+    return FailedPrecondition("cannot add tenants while started");
+  }
+  if (Status s = scheduler_.AddTenant(config); !s.ok()) return s;
+  if (params_.sla.enabled) {
+    runtime::SlaTarget target;
+    target.target_latency_ns = params_.sla.target_latency_ns;
+    target.release_fraction = params_.sla.release_fraction;
+    target.min_samples = params_.sla.min_samples;
+    target.max_degraded_fraction = params_.sla.max_degraded_fraction;
+    if (Status s = sla_.SetTarget(config.id, target); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status DpeService::SetResponseHandler(ResponseHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) {
+    return FailedPrecondition("cannot change handler while started");
+  }
+  handler_ = std::move(handler);
+  return Status::Ok();
+}
+
+Expected<RequestId> DpeService::Submit(const SubmitArgs& args) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const TenantConfig* tenant = scheduler_.Find(args.tenant);
+  if (tenant == nullptr) return NotFound("unknown tenant");
+  ++stats_.submitted;
+
+  if (!args.input.valid() ||
+      (params_.expected_input_elements != 0 &&
+       args.input.size() != params_.expected_input_elements)) {
+    ++stats_.rejected_invalid;
+    return InvalidArgument("request tensor has the wrong shape");
+  }
+  if (authority_ != nullptr) {
+    if (args.capability.partition != tenant->partition) {
+      ++stats_.rejected_permission;
+      return PermissionDenied("capability partition does not match tenant");
+    }
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(args.input.size()) * sizeof(double);
+    if (Status s = authority_->CheckAccess(args.capability,
+                                           args.capability.base, bytes,
+                                           security::Permission::kExecute);
+        !s.ok()) {
+      ++stats_.rejected_permission;
+      return s;
+    }
+  }
+
+  const double arrival =
+      args.arrival_ns < 0.0 ? virtual_now_ : args.arrival_ns;
+  if (const auto it = quarantined_until_.find(args.tenant);
+      it != quarantined_until_.end()) {
+    if (arrival < it->second) {
+      ++stats_.rejected_quarantine;
+      return Unavailable("tenant quarantined by SLA relocation");
+    }
+    quarantined_until_.erase(it);
+  }
+  if (scheduler_.TotalDepth() >= watermark_) {
+    ++stats_.rejected_watermark;
+    return Unavailable("queue depth watermark exceeded");
+  }
+
+  PendingRequest request;
+  request.id = next_id_;
+  request.tenant = args.tenant;
+  request.input = args.input;
+  request.arrival_ns = arrival;
+  request.deadline_ns = arrival + args.deadline_ns;
+  request.first_arrival_ns = arrival;
+  if (Status s = scheduler_.Enqueue(std::move(request)); !s.ok()) {
+    ++stats_.rejected_capacity;
+    return s;
+  }
+  const RequestId id = next_id_++;
+  ++stats_.admitted;
+  lock.unlock();
+  gate_.NotifyAll();
+  return id;
+}
+
+bool DpeService::PumpOnce() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (scheduler_.TotalDepth() == 0) return false;
+  dispatching_ = true;
+
+  // Batch formation is a discrete-event jump: dispatch when the oldest
+  // queued request has waited window_ns, or as soon as a full batch has
+  // accumulated, whichever the queued arrivals say comes first.
+  const double oldest = scheduler_.EarliestArrival();
+  const double now = std::max(virtual_now_, oldest);
+  double dispatch = std::max(now, oldest + window_ns_);
+  const double full_at =
+      scheduler_.NthArrival(params_.batching.max_batch - 1);
+  if (full_at <= dispatch) dispatch = std::max(now, full_at);
+  virtual_now_ = dispatch;
+
+  // Shed visible requests whose deadline expired before dispatch.
+  std::vector<Response> shed;
+  if (params_.admission.shed_expired) {
+    PendingRequest expired;
+    while (scheduler_.PopExpired(virtual_now_, &expired)) {
+      Response response;
+      response.id = expired.id;
+      response.tenant = expired.tenant;
+      response.outcome = Outcome::kShedDeadline;
+      response.attempts = expired.attempt;
+      response.arrival_ns = expired.first_arrival_ns;
+      response.dispatch_ns = virtual_now_;
+      response.completion_ns = virtual_now_;
+      ++stats_.shed_deadline;
+      shed.push_back(std::move(response));
+    }
+  }
+
+  // Weighted-fair pop of up to max_batch visible requests.
+  std::vector<PendingRequest> batch;
+  batch.reserve(params_.batching.max_batch);
+  PendingRequest next;
+  while (batch.size() < params_.batching.max_batch &&
+         scheduler_.PopVisible(virtual_now_, &next)) {
+    batch.push_back(std::move(next));
+  }
+  if (!batch.empty()) {
+    ++stats_.batches;
+    stats_.batched_elements += batch.size();
+  }
+  lock.unlock();
+
+  for (const Response& response : shed) Deliver(response);
+  if (batch.empty()) {
+    lock.lock();
+    dispatching_ = false;
+    lock.unlock();
+    gate_.NotifyAll();
+    return true;
+  }
+
+  std::vector<nn::Tensor> inputs;
+  inputs.reserve(batch.size());
+  for (const PendingRequest& request : batch) inputs.push_back(request.input);
+  auto results = accelerator_->InferBatch(inputs);
+
+  std::vector<Response> done;
+  std::vector<PendingRequest> retries;
+  lock.lock();
+  if (!results.ok()) {
+    // The accelerator refused the whole batch (malformed input slipped
+    // past admission). Fail the elements; the service stays up.
+    for (PendingRequest& request : batch) {
+      Response response;
+      response.id = request.id;
+      response.tenant = request.tenant;
+      response.outcome = Outcome::kFailed;
+      response.attempts = request.attempt + 1;
+      response.arrival_ns = request.first_arrival_ns;
+      response.dispatch_ns = dispatch;
+      response.completion_ns = virtual_now_;
+      ++stats_.failed;
+      done.push_back(std::move(response));
+    }
+  } else {
+    // Batch elements execute concurrently on replicated tile sets in the
+    // modeled fabric: the batch completes when its slowest element does.
+    double batch_latency_ns = 0.0;
+    for (const dpe::InferResult& result : *results) {
+      batch_latency_ns = std::max(batch_latency_ns, result.cost.latency_ns);
+    }
+    const double completion = virtual_now_ + batch_latency_ns;
+    virtual_now_ = completion;
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      PendingRequest& request = batch[i];
+      dpe::InferResult& result = (*results)[i];
+      const bool clean = result.fault_report.clean();
+      if (!clean && request.attempt < params_.retry.max_retries) {
+        // Fault-flagged: re-dispatch after deterministic backoff. The
+        // accelerator's wave-boundary remap runs underneath, so a retry
+        // often lands on a repaired (spare) tile.
+        ++stats_.retries;
+        PendingRequest retry = std::move(request);
+        retry.attempt += 1;
+        retry.arrival_ns = completion + BackoffNs(params_.retry, params_.seed,
+                                                  retry.id, retry.attempt);
+        retries.push_back(std::move(retry));
+        continue;
+      }
+      Response response;
+      response.id = request.id;
+      response.tenant = request.tenant;
+      response.outcome = clean ? Outcome::kOk : Outcome::kOkDegraded;
+      response.output = std::move(result.output);
+      response.cost = result.cost;
+      response.fault_report = result.fault_report;
+      response.attempts = request.attempt + 1;
+      response.arrival_ns = request.first_arrival_ns;
+      response.dispatch_ns = dispatch;
+      response.completion_ns = completion;
+      if (clean) {
+        ++stats_.completed_clean;
+      } else {
+        ++stats_.completed_degraded;
+      }
+      sla_.Observe(request.tenant, response.latency_ns());
+      sla_.ObserveQuality(request.tenant, !clean);
+      load_info_.RecordLatency(request.tenant, response.latency_ns());
+      ++responses_since_eval_;
+      done.push_back(std::move(response));
+    }
+    for (PendingRequest& retry : retries) {
+      // Retries bypass the capacity check: backoff must not be starvable
+      // by fresh admissions.
+      Status enqueued = scheduler_.Enqueue(std::move(retry), /*force=*/true);
+      CIM_CHECK(enqueued.ok());
+    }
+    if (params_.sla.enabled &&
+        responses_since_eval_ >= params_.sla.evaluate_every) {
+      RunSlaLoopLocked();
+    }
+  }
+  dispatching_ = false;
+  lock.unlock();
+  gate_.NotifyAll();
+  for (const Response& response : done) Deliver(response);
+  return true;
+}
+
+void DpeService::RunSlaLoopLocked() {
+  responses_since_eval_ = 0;
+  // Real measured utilization from the accelerator's own pool — the load
+  // information §IV.C asks for before any action is undertaken.
+  if (const ThreadPool* pool = accelerator_->thread_pool()) {
+    load_info_.IngestPool(*pool);
+  }
+  for (const runtime::SlaDecision& decision : sla_.Evaluate()) {
+    switch (decision.action) {
+      case runtime::SlaAction::kScaleUp: {
+        // Violating latency: cut queueing delay (smaller window) and shed
+        // load earlier (lower watermark).
+        window_ns_ = std::max(params_.batching.min_window_ns,
+                              window_ns_ * params_.sla.window_shrink);
+        const std::size_t step = params_.sla.watermark_step;
+        watermark_ = watermark_ > params_.admission.min_watermark + step
+                         ? watermark_ - step
+                         : params_.admission.min_watermark;
+        ++stats_.sla_scale_up;
+        break;
+      }
+      case runtime::SlaAction::kScaleDown:
+        // Comfortably under target: recover batching efficiency and admit
+        // more load.
+        window_ns_ = std::min(params_.batching.max_window_ns,
+                              window_ns_ * params_.sla.window_grow);
+        watermark_ = std::min(params_.admission.max_watermark,
+                              watermark_ + params_.sla.watermark_step);
+        ++stats_.sla_scale_down;
+        break;
+      case runtime::SlaAction::kRelocate:
+        // Quality floor violated: move the stream off the degraded
+        // hardware — here, stop feeding it until the quarantine passes
+        // (the accelerator's spare-tile remap repairs underneath).
+        quarantined_until_[decision.stream] =
+            virtual_now_ + params_.sla.quarantine_ns;
+        ++stats_.sla_relocations;
+        break;
+      case runtime::SlaAction::kNone:
+        break;
+    }
+  }
+}
+
+void DpeService::Deliver(const Response& response) {
+  if (handler_) handler_(response);
+}
+
+Status DpeService::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_) return FailedPrecondition("already started");
+    started_ = true;
+    stopping_ = false;
+  }
+  dispatcher_ =
+      std::make_unique<ServiceThread>([this] { DispatcherLoop(); });
+  return Status::Ok();
+}
+
+Status DpeService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) return FailedPrecondition("not started");
+    stopping_ = true;
+  }
+  gate_.NotifyAll();
+  dispatcher_.reset();  // joins after the dispatcher drains every queue
+  std::lock_guard<std::mutex> lock(mutex_);
+  started_ = false;
+  stopping_ = false;
+  return Status::Ok();
+}
+
+void DpeService::DispatcherLoop() {
+  for (;;) {
+    if (PumpOnce()) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (scheduler_.TotalDepth() != 0) continue;  // raced a Submit
+    if (stopping_) return;
+    // Bounded idle poll (blocking-in-server-loop: no unbounded waits).
+    gate_.WaitBounded(lock, params_.idle_poll_ns, [this] {
+      return stopping_ || scheduler_.TotalDepth() != 0;
+    });
+  }
+}
+
+std::size_t DpeService::RunUntilIdle() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Serial pumping while a background dispatcher runs would interleave
+    // two dispatchers; the API forbids it.
+    CIM_CHECK(!started_);
+  }
+  std::size_t pumped = 0;
+  while (PumpOnce()) ++pumped;
+  return pumped;
+}
+
+bool DpeService::Idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scheduler_.TotalDepth() == 0 && !dispatching_;
+}
+
+Status DpeService::WaitUntilIdle(std::int64_t max_wait_ns) {
+  const std::int64_t poll = params_.idle_poll_ns;
+  const std::int64_t attempts = std::max<std::int64_t>(1, max_wait_ns / poll);
+  for (std::int64_t i = 0; i < attempts; ++i) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool idle = gate_.WaitBounded(lock, poll, [this] {
+      return scheduler_.TotalDepth() == 0 && !dispatching_;
+    });
+    if (idle) return Status::Ok();
+  }
+  return Unavailable("service still busy after max_wait_ns");
+}
+
+ServiceStats DpeService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats snapshot = stats_;
+  snapshot.window_ns = window_ns_;
+  snapshot.watermark = watermark_;
+  return snapshot;
+}
+
+double DpeService::virtual_now_ns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return virtual_now_;
+}
+
+}  // namespace cim::serve

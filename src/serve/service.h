@@ -1,0 +1,254 @@
+// cim::serve::DpeService — a long-running inference service over
+// DpeAccelerator::InferBatch.
+//
+// Control plane (all decisions in *virtual* nanoseconds, request.h):
+//   * Dynamic batching: queued requests coalesce until either max_batch
+//     requests have arrived or the oldest has waited window_ns; the window
+//     is a discrete-event jump, so the dispatch instant is a pure function
+//     of the queue contents.
+//   * Admission control / backpressure: Submit rejects with kUnavailable
+//     once total queue depth reaches the watermark, with kCapacityExceeded
+//     when the tenant's own bounded queue is full, and sheds (without
+//     executing) any request whose deadline expired before dispatch.
+//   * Retry with deterministic exponential backoff + jitter: a result whose
+//     FaultReport is not clean re-enters the queue at
+//     completion + BackoffNs(retry, seed, id, attempt); the jitter stream
+//     is DeriveSeed-keyed so replays are bit-identical. When retries are
+//     exhausted the flagged-degrade result is delivered as kOkDegraded —
+//     the accelerator's own retry -> spare-tile remap -> degrade escalation
+//     (dpe/accelerator.h) has by then already run underneath.
+//   * SLA closed loop: per-response latency/quality feeds SlaController;
+//     every evaluate_every responses the service ingests real pool
+//     utilization (LoadInformationManager::IngestPool) and applies the
+//     controller's verdicts — kScaleUp shrinks the batching window and
+//     lowers the admission watermark (shed load, cut queueing delay),
+//     kScaleDown relaxes both, kRelocate quarantines the offending stream.
+//   * Multi-tenant isolation: per-tenant bounded queues under stride-WFQ
+//     (tenant.h), with capability-token checks (security/capability.h)
+//     when an authority is wired.
+//
+// Execution plane: formed batches run on the accelerator's own thread pool.
+// Because batch partitioning never affects output bits (noise streams are
+// keyed by global call index, dpe/accelerator.h), outputs AND virtual
+// latencies are bit-identical between RunUntilIdle (caller-pumped) and the
+// Start/Stop background dispatcher, provided submissions are themselves
+// deterministic (pre-enqueued arrivals, or closed-loop submission from the
+// response handler, which runs on the dispatcher thread). External threads
+// racing Submit against a live dispatcher get linearized at the mutex —
+// safe, but the interleaving is theirs to make deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "dpe/accelerator.h"
+#include "runtime/load_balancer.h"
+#include "runtime/sla.h"
+#include "security/capability.h"
+#include "serve/clock.h"
+#include "serve/request.h"
+#include "serve/tenant.h"
+
+namespace cim::serve {
+
+struct BatchingParams {
+  std::size_t max_batch = 8;
+  double window_ns = 200e3;  // initial coalescing window
+  // Bounds for the SLA loop's window adaptation.
+  double min_window_ns = 25e3;
+  double max_window_ns = 800e3;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+struct AdmissionParams {
+  std::size_t watermark = 64;  // initial total-queue-depth watermark
+  // Bounds for the SLA loop's watermark adaptation.
+  std::size_t min_watermark = 8;
+  std::size_t max_watermark = 256;
+  bool shed_expired = true;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+struct RetryParams {
+  // Service-level re-dispatches of a fault-flagged result (on top of the
+  // accelerator's internal per-tile retry).
+  std::uint32_t max_retries = 2;
+  double base_backoff_ns = 100e3;  // first retry waits ~base, then doubles
+  double jitter_fraction = 0.25;   // uniform extra in [0, fraction * wait)
+
+  [[nodiscard]] Status Validate() const;
+};
+
+struct SlaLoopParams {
+  bool enabled = true;
+  double target_latency_ns = 2e6;
+  double release_fraction = 0.5;
+  double max_degraded_fraction = 0.25;
+  int min_samples = 16;
+  // Responses between SlaController::Evaluate rounds.
+  std::uint64_t evaluate_every = 32;
+  // kRelocate quarantine: submissions for the stream are rejected
+  // (kUnavailable) until virtual time passes the quarantine horizon.
+  double quarantine_ns = 2e6;
+  std::size_t watermark_step = 8;
+  double window_shrink = 0.5;
+  double window_grow = 1.5;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+struct ServeParams {
+  BatchingParams batching;
+  AdmissionParams admission;
+  RetryParams retry;
+  SlaLoopParams sla;
+  // Root of the DeriveSeed tree for backoff jitter.
+  std::uint64_t seed = 1;
+  // Expected elements per request tensor; a mismatched request is rejected
+  // at Submit (kInvalidArgument) so it cannot poison a whole batch. 0
+  // disables the check.
+  std::size_t expected_input_elements = 0;
+  // Real-time bound on one idle poll of the background dispatcher — a
+  // liveness knob only, never observable in results.
+  std::int64_t idle_poll_ns = 2'000'000;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+struct SubmitArgs {
+  TenantId tenant = 0;
+  nn::Tensor input;
+  // Virtual arrival time; negative = "now" (the service's virtual frontier).
+  double arrival_ns = -1.0;
+  // Deadline relative to arrival; kNoDeadline disables shedding for it.
+  double deadline_ns = kNoDeadline;
+  // Checked against the tenant's partition when an authority is wired.
+  security::Capability capability;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_watermark = 0;   // kUnavailable backpressure
+  std::uint64_t rejected_capacity = 0;    // tenant queue full
+  std::uint64_t rejected_permission = 0;  // capability check failed
+  std::uint64_t rejected_quarantine = 0;  // SLA kRelocate quarantine
+  std::uint64_t rejected_invalid = 0;     // malformed input
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t completed_clean = 0;
+  std::uint64_t completed_degraded = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_elements = 0;  // mean batch = elements / batches
+  std::uint64_t sla_scale_up = 0;
+  std::uint64_t sla_scale_down = 0;
+  std::uint64_t sla_relocations = 0;
+  // Current adaptive state.
+  double window_ns = 0.0;
+  std::size_t watermark = 0;
+};
+
+// Deterministic retry backoff: base * 2^(attempt-1) plus a jitter drawn
+// from Rng(DeriveSeed(DeriveSeed(seed, request id), attempt)) —
+// replay-stable and independent of every other stream in the run. attempt
+// counts prior dispatches, so the first retry (attempt = 1) waits ~base
+// and each further retry doubles it.
+[[nodiscard]] double BackoffNs(const RetryParams& retry, std::uint64_t seed,
+                               RequestId id, std::uint32_t attempt);
+
+// Called once per terminal Response. Runs on the dispatching thread (the
+// caller of RunUntilIdle, or the background dispatcher) in deterministic
+// order; it may call Submit re-entrantly (closed-loop clients).
+using ResponseHandler = std::function<void(const Response&)>;
+
+class DpeService {
+ public:
+  // `accelerator` (and `authority`, when given) must outlive the service.
+  [[nodiscard]] static Expected<std::unique_ptr<DpeService>> Create(
+      const ServeParams& params, dpe::DpeAccelerator* accelerator,
+      const security::CapabilityAuthority* authority = nullptr);
+
+  ~DpeService();
+  DpeService(const DpeService&) = delete;
+  DpeService& operator=(const DpeService&) = delete;
+
+  // Registers a tenant and its SLA target. Not allowed while started.
+  [[nodiscard]] Status AddTenant(const TenantConfig& config);
+  // Must be set before the first Submit; not allowed while started.
+  [[nodiscard]] Status SetResponseHandler(ResponseHandler handler);
+
+  // Admission-checked enqueue; thread-safe. Errors: kNotFound (unknown
+  // tenant), kInvalidArgument (malformed input), kPermissionDenied
+  // (capability), kUnavailable (watermark or quarantine),
+  // kCapacityExceeded (tenant queue full).
+  [[nodiscard]] Expected<RequestId> Submit(const SubmitArgs& args);
+
+  // Background mode: a dedicated dispatcher thread pumps the loop.
+  [[nodiscard]] Status Start();
+  // Drains every queued request (retries included), then joins.
+  [[nodiscard]] Status Stop();
+
+  // Serial mode (not allowed while started): pump batches on the calling
+  // thread until every queue is empty; returns batches dispatched.
+  [[nodiscard]] std::size_t RunUntilIdle();
+
+  // True when no request is queued or executing.
+  [[nodiscard]] bool Idle() const;
+  // Block (bounded real-time polls) until Idle(); kUnavailable on timeout.
+  [[nodiscard]] Status WaitUntilIdle(std::int64_t max_wait_ns);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] double virtual_now_ns() const;
+  // Load telemetry the SLA loop ingested (utilization per pool worker).
+  [[nodiscard]] const runtime::LoadInformationManager& load_info() const {
+    return load_info_;
+  }
+
+ private:
+  DpeService(const ServeParams& params, dpe::DpeAccelerator* accelerator,
+             const security::CapabilityAuthority* authority);
+
+  // One dispatch cycle: advance the virtual clock to the next dispatch
+  // instant, shed expired requests, pop a weighted-fair batch, execute it,
+  // deliver responses and queue retries. Returns false when idle.
+  bool PumpOnce();
+  void DispatcherLoop();
+  // Applies SlaController verdicts; called with mutex_ held.
+  void RunSlaLoopLocked();
+  void Deliver(const Response& response);
+
+  const ServeParams params_;
+  dpe::DpeAccelerator* const accelerator_;        // not owned
+  const security::CapabilityAuthority* const authority_;  // not owned
+
+  runtime::SlaController sla_;
+  runtime::LoadInformationManager load_info_;
+
+  mutable std::mutex mutex_;
+  DeadlineGate gate_;
+  TenantScheduler scheduler_;
+  std::map<TenantId, double> quarantined_until_;
+  double virtual_now_ = 0.0;
+  RequestId next_id_ = 1;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool dispatching_ = false;
+  double window_ns_ = 0.0;       // adaptive
+  std::size_t watermark_ = 0;    // adaptive
+  std::uint64_t responses_since_eval_ = 0;
+  ServiceStats stats_;
+  ResponseHandler handler_;
+  std::unique_ptr<ServiceThread> dispatcher_;
+};
+
+}  // namespace cim::serve

@@ -423,6 +423,70 @@ TEST(LogNormalInHotPathRule, AllowLogNormalMarkerSuppresses) {
       RuleFindings(LintFiles(files), "lognormal-in-hot-path").empty());
 }
 
+// ---------------------------------------------------------------------------
+// blocking-in-server-loop
+// ---------------------------------------------------------------------------
+
+TEST(BlockingInServerLoopRule, FiresOnSleepsAndUnboundedWaitsInServe) {
+  const Files files = {
+      {"src/serve/service.cc",
+       "void A() { std::this_thread::sleep_for(ms(5)); }\n"
+       "void B() { std::this_thread::sleep_until(t); }\n"
+       "void C(std::unique_lock<std::mutex>& l) { cv_.wait(l); }\n"
+       "void D(std::condition_variable* cv) { cv->wait(lock); }\n"}};
+  const auto findings =
+      RuleFindings(LintFiles(files), "blocking-in-server-loop");
+  ASSERT_EQ(findings.size(), 4u);
+  EXPECT_EQ(findings[0].file, "src/serve/service.cc");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[3].line, 4u);
+}
+
+TEST(BlockingInServerLoopRule, BoundedWaitsAndOtherModulesAreClean) {
+  const Files files = {
+      // The deadline-aware forms are exactly what the rule steers toward.
+      {"src/serve/clock.h",
+       "#pragma once\n"
+       "void W(std::unique_lock<std::mutex>& l) {\n"
+       "  cv_.wait_for(l, std::chrono::nanoseconds(100), [] { return ok; });\n"
+       "  cv_.wait_until(l, deadline, [] { return ok; });\n"
+       "}\n"},
+      // Outside src/serve/ the rule does not apply (raw-thread and friends
+      // police the rest of the tree).
+      {"src/runtime/pool_glue.cc",
+       "void N() { std::this_thread::sleep_for(ms(1)); cv_.wait(lock); }\n"},
+      // An identifier merely containing "wait" is not a blocking call.
+      {"src/serve/service.h",
+       "#pragma once\n"
+       "double max_wait(int n);\n"
+       "double w = max_wait(3);\n"}};
+  EXPECT_TRUE(
+      RuleFindings(LintFiles(files), "blocking-in-server-loop").empty());
+}
+
+TEST(BlockingInServerLoopRule, AllowBlockMarkerSuppresses) {
+  const Files files = {
+      {"src/serve/service.cc",
+       "// startup barrier, no deadline exists yet. cimlint: allow-block\n"
+       "void A() { cv_.wait(lock); }\n"
+       "void B() { cv_.wait(lock); }  "
+       "// cimlint: allow(blocking-in-server-loop)\n"
+       "void C() { cv_.wait(lock); }  // cimlint: allow-block\n"}};
+  const auto findings = LintFiles(files);
+  EXPECT_TRUE(RuleFindings(findings, "blocking-in-server-loop").empty());
+  EXPECT_TRUE(RuleFindings(findings, "stale-suppression").empty());
+}
+
+TEST(BlockingInServerLoopRule, StaleAllowBlockIsFlagged) {
+  const Files files = {
+      {"src/serve/service.cc",
+       "// cimlint: allow-block\n"
+       "void A() { gate_.WaitBounded(lock, budget_ns, pred); }\n"}};
+  const auto findings = RuleFindings(LintFiles(files), "stale-suppression");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/serve/service.cc");
+}
+
 TEST(CollectStatusFunctions, FindsDeclarationsAndFiltersAmbiguity) {
   const Files files = {
       {"src/a.h",
@@ -589,6 +653,35 @@ TEST(Layering, SuppressibleAtTheIncludeSite) {
   const auto findings = LintFiles(files, &spec);
   EXPECT_TRUE(RuleFindings(findings, "layer-upward-include").empty());
   EXPECT_TRUE(RuleFindings(findings, "stale-suppression").empty());
+}
+
+TEST(Layering, ServeSitsAloneOnTopOfTheRepoSpec) {
+  // Mirrors tools/cimlint/layers.txt: serve is its own top layer, so the
+  // service may include runtime and security, while nothing below may
+  // reach up into it.
+  const LayerSpec spec = SpecOf(
+      "layer common\n"
+      "layer device crossbar noc logic\n"
+      "layer nn baseline arch dpe dataflow trend\n"
+      "layer runtime reliability security workloads\n"
+      "layer serve\n");
+  const Files files = {
+      {"src/runtime/sla.h", "#pragma once\nint S();\n"},
+      {"src/security/capability.h", "#pragma once\nint C();\n"},
+      {"src/serve/service.h", "#pragma once\nint Svc();\n"},
+      {"src/serve/service.cc",
+       "#include \"runtime/sla.h\"\n"
+       "#include \"security/capability.h\"\n"},
+      // workloads sits a layer below serve and is not included back by it,
+      // so this upward include is flagged without also forming a cycle.
+      {"src/workloads/bad.cc", "#include \"serve/service.h\"\n"}};
+  const auto findings = LintFiles(files, &spec);
+  const auto upward = RuleFindings(findings, "layer-upward-include");
+  ASSERT_EQ(upward.size(), 1u);
+  EXPECT_EQ(upward[0].file, "src/workloads/bad.cc");
+  EXPECT_EQ(upward[0].key, "serve/service.h");
+  EXPECT_TRUE(RuleFindings(findings, "layer-unknown-module").empty());
+  EXPECT_TRUE(RuleFindings(findings, "layer-cycle").empty());
 }
 
 TEST(Layering, IgnoresCommentedOutIncludes) {
@@ -911,7 +1004,7 @@ TEST(SarifEmitter, SkeletonRuleIndexAndFingerprint) {
   EXPECT_NE(out.find("\"version\": \"2.1.0\""), std::string::npos);
   EXPECT_NE(out.find("\"name\": \"cimlint\""), std::string::npos);
   EXPECT_NE(out.find("\"ruleId\": \"raw-rng\""), std::string::npos);
-  EXPECT_NE(out.find("\"ruleIndex\": 12"), std::string::npos);
+  EXPECT_NE(out.find("\"ruleIndex\": 13"), std::string::npos);
   EXPECT_NE(out.find("\"startLine\": 3"), std::string::npos);
   EXPECT_NE(out.find("\"uriBaseId\": \"SRCROOT\""), std::string::npos);
   EXPECT_NE(out.find("\"cimlintKey/v1\": \"src/a.cc:raw-rng:k\""),
@@ -920,8 +1013,8 @@ TEST(SarifEmitter, SkeletonRuleIndexAndFingerprint) {
   // it produced no result (SARIF viewers need the registry up front).
   for (const char* rule :
        {"layer-upward-include", "layer-cycle", "unordered-iteration",
-        "nested-parallel-region", "stale-baseline-entry",
-        "stale-suppression"}) {
+        "nested-parallel-region", "blocking-in-server-loop",
+        "stale-baseline-entry", "stale-suppression"}) {
     EXPECT_NE(out.find(std::string("\"id\": \"") + rule + "\""),
               std::string::npos)
         << rule;

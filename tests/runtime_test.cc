@@ -38,6 +38,29 @@ TEST(LoadInformationTest, IngestsRealPoolUtilization) {
   EXPECT_DOUBLE_EQ(lim.UtilizationOf(0), 0.0);
 }
 
+TEST(LoadInformationTest, IngestPoolOffsetsKeepTwoPoolsDisjoint) {
+  // The serving plane ingests the accelerator's pool next to the host pool;
+  // the first_worker offset is what keeps the two utilization ranges from
+  // clobbering each other in the shared worker namespace.
+  ThreadPool host_pool(2);
+  ThreadPool accel_pool(3);
+  for (int i = 0; i < 4; ++i) host_pool.Submit([] {}).get();
+  for (int i = 0; i < 4; ++i) accel_pool.Submit([] {}).get();
+  LoadInformationManager lim;
+  lim.IngestPool(host_pool);                       // workers 0..1
+  lim.IngestPool(accel_pool, /*first_worker=*/16); // workers 16..18
+  for (WorkerId w : {WorkerId{0}, WorkerId{1}, WorkerId{16}, WorkerId{17},
+                     WorkerId{18}}) {
+    EXPECT_GE(lim.UtilizationOf(w), 0.0);
+    EXPECT_LE(lim.UtilizationOf(w), 1.0);
+  }
+  // The gap between the two ranges stays unknown: neither ingest may bleed
+  // outside its own [first_worker, first_worker + worker_count) span.
+  for (WorkerId w : {WorkerId{2}, WorkerId{15}, WorkerId{19}}) {
+    EXPECT_DOUBLE_EQ(lim.UtilizationOf(w), 0.0);
+  }
+}
+
 TEST(LoadBalancerTest, AssignsToLeastLoaded) {
   LoadBalancer balancer;
   ASSERT_TRUE(balancer.AddWorker({1, 100.0, true}).ok());
@@ -210,6 +233,32 @@ TEST(SlaControllerTest, QualityWindowResetsAfterEvaluation) {
   // Old quality samples are gone; one new sample is below min_samples.
   sla.ObserveQuality(1, true);
   EXPECT_TRUE(sla.Evaluate().empty());
+}
+
+TEST(SlaControllerTest, SustainedDegradationRelocatesUntilQualityRecovers) {
+  // The hysteresis contract the serving loop's quarantine path leans on:
+  // every evaluation window that stays above the quality floor demands
+  // relocation again, and the first clean window after the stream lands on
+  // healthy hardware takes no action at all (no lingering state from the
+  // violating windows).
+  SlaController sla;
+  ASSERT_TRUE(sla.SetTarget(7, {1000.0, 0.5, 4, 0.25}).ok());
+  for (int window = 0; window < 3; ++window) {
+    for (int i = 0; i < 4; ++i) sla.ObserveQuality(7, /*degraded=*/true);
+    auto decisions = sla.Evaluate();
+    ASSERT_EQ(decisions.size(), 1u) << "window " << window;
+    EXPECT_EQ(decisions[0].action, SlaAction::kRelocate);
+    EXPECT_DOUBLE_EQ(decisions[0].degraded_fraction, 1.0);
+  }
+  EXPECT_EQ(sla.violations(), 3u);
+  // Post-relocation: clean results at a latency inside the hysteresis band
+  // -> no decision, and the violation counter stops moving.
+  for (int i = 0; i < 4; ++i) {
+    sla.ObserveQuality(7, /*degraded=*/false);
+    sla.Observe(7, 800.0);  // between 0.5 * target and target
+  }
+  EXPECT_TRUE(sla.Evaluate().empty());
+  EXPECT_EQ(sla.violations(), 3u);
 }
 
 TEST(SlaControllerTest, QualityEnforcementDisabledByDefault) {

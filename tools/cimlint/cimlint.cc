@@ -245,6 +245,11 @@ std::vector<Suppression> ParseSuppressions(
                                    "allow-lognormal", false});
         continue;
       }
+      if (text.compare(p, 11, "allow-block") == 0) {
+        sups.push_back(Suppression{line, Suppression::Kind::kMarker,
+                                   "allow-block", false});
+        continue;
+      }
       (void)parse_paren_name("allow(", Suppression::Kind::kRule);
     }
   }
@@ -558,6 +563,29 @@ void CheckLogNormalInHotPath(FileContext& ctx,
            "direct LogNormal draw in an analog hot path; route sampling "
            "through device::NoiseModel::FillFactors so the kernel policy "
            "owns the sampler, or justify with `// cimlint: allow-lognormal`",
+           findings);
+  }
+}
+
+void CheckBlockingInServerLoop(FileContext& ctx,
+                               std::vector<Finding>& findings) {
+  // The serving loop (src/serve/) must never block without a deadline: a
+  // sleep_for/sleep_until nap cannot observe shutdown or shed expired
+  // work, and an unbounded condition_variable::wait can hang the
+  // dispatcher forever. Real-time waits go through the bounded
+  // serve::DeadlineGate wrapper (wait_for/wait_until underneath are the
+  // deadline-aware forms and do not match); a genuinely justified block
+  // carries the `// cimlint: allow-block` escape.
+  if (!StartsWith(ctx.file->repo_path, "src/serve/")) return;
+  static const std::regex kBlocking(
+      R"(\bsleep_(for|until)\s*\(|(\.|->)\s*wait\s*\()");
+  for (std::size_t i = 0; i < ctx.stripped.code.size(); ++i) {
+    if (!std::regex_search(ctx.stripped.code[i], kBlocking)) continue;
+    if (MarkerAllows(ctx, i, "allow-block")) continue;
+    Report(ctx, i, "blocking-in-server-loop", "",
+           "unbounded blocking in the serving loop; use the deadline-aware "
+           "serve::DeadlineGate wrappers (bounded wait_for/wait_until), or "
+           "justify with `// cimlint: allow-block`",
            findings);
   }
 }
@@ -1278,6 +1306,8 @@ struct RuleInfo {
 };
 constexpr RuleInfo kRules[] = {
     {"banned-function", "printf/exit outside their sanctioned homes"},
+    {"blocking-in-server-loop",
+     "sleep or unbounded condition_variable::wait in src/serve/"},
     {"discarded-status", "Status/Expected result cast to void"},
     {"layer-cycle", "include edge participating in a module cycle"},
     {"layer-spec", "tools/cimlint/layers.txt is malformed"},
@@ -1555,6 +1585,7 @@ std::vector<Finding> LintFiles(const std::vector<SourceFile>& files,
     CheckDiscardedStatus(ctx, status_functions, findings);
     CheckPow2InHotPath(ctx, findings);
     CheckLogNormalInHotPath(ctx, findings);
+    CheckBlockingInServerLoop(ctx, findings);
     CheckNestedParallel(ctx, findings);
     CheckThreadLocalInParallel(ctx, findings);
     CheckNondeterministicSeed(ctx, findings);

@@ -84,6 +84,17 @@
 //                          golden per-cell reference draw is justified
 //                          with `// cimlint: allow-lognormal` on the same
 //                          or previous line.
+//   blocking-in-server-loop  A `sleep_for(`/`sleep_until(` call or an
+//                          unbounded `.wait(`/`->wait(` (condition_variable)
+//                          in src/serve/. The serving loop must never block
+//                          without a deadline — a nap cannot observe
+//                          shutdown or shed expired requests, and an
+//                          unbounded wait can hang the dispatcher. Waits go
+//                          through the bounded serve::DeadlineGate wrappers
+//                          (the deadline-aware wait_for/wait_until forms do
+//                          not match); a justified block carries
+//                          `// cimlint: allow-block` on the same or
+//                          previous line.
 //   layer-upward-include   An `#include` under src/ whose target module
 //                          sits in a higher layer of layers.txt than the
 //                          including module. A module may include itself,
