@@ -11,8 +11,12 @@
 #                        sustained QPS, rejection/degrade rates, and the
 #                        chaos availability/recovery gates (all virtual
 #                        time, so the report is byte-identical on replay).
+#   bench_fabric_cosim   multi-tile NoC co-simulation — thread-count
+#                        bit-identity and NoC-cost gates, tile-count sweep,
+#                        parallel co-sim speedup and the flat-vs-reference
+#                        NoC injection-path throughput gate.
 #
-# Writes BENCH_PR8.json at the repo root (CI uploads it as an artifact;
+# Writes BENCH_PR9.json at the repo root (CI uploads it as an artifact;
 # EXPERIMENTS.md explains the numbers).
 #
 # Usage:
@@ -23,8 +27,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset="relwithdebinfo"
-out="BENCH_PR8.json"
-benches=(bench_mvm_kernel bench_serve_latency)
+out="BENCH_PR9.json"
+benches=(bench_mvm_kernel bench_serve_latency bench_fabric_cosim)
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)" --target "${benches[@]}"

@@ -60,15 +60,20 @@ run_preset() {
     ctest --preset "$preset"
     echo "==> [$preset] ctest (serve label)"
     ctest --test-dir "build/$preset" -L serve --output-on-failure
+    echo "==> [$preset] ctest (fabric label)"
+    ctest --test-dir "build/$preset" -L fabric --output-on-failure
     return 0
   fi
   echo "==> [$preset] ctest"
   ctest --preset "$preset"
   echo "==> [$preset] ctest (serve label)"
   ctest --preset "$preset" -L serve
+  echo "==> [$preset] ctest (fabric label)"
+  ctest --preset "$preset" -L fabric
   if [[ "$preset" == "relwithdebinfo" ]]; then
     run_fault_determinism_gate "$preset"
     run_serve_determinism_gate "$preset"
+    run_fabric_determinism_gate "$preset"
     run_perf_gate "$preset"
   fi
 }
@@ -77,13 +82,13 @@ run_preset() {
 # + the kFastNoise statistical-equivalence suite + both bench smokes) plus
 # the full bench artifact build (scripts/bench_json.sh), which enforces the
 # kernel speedup gates and the serving availability/recovery gates and
-# writes the merged BENCH_PR8.json — the artifact CI uploads and
+# writes the merged BENCH_PR9.json — the artifact CI uploads and
 # EXPERIMENTS.md documents.
 run_perf_gate() {
   local preset="$1"
   echo "==> [$preset] ctest (perf label)"
   ctest --preset "$preset" -L perf
-  echo "==> [$preset] bench artifact (speedup + availability gates, BENCH_PR8.json)"
+  echo "==> [$preset] bench artifact (speedup + availability gates, BENCH_PR9.json)"
   scripts/bench_json.sh
 }
 
@@ -105,6 +110,31 @@ run_serve_determinism_gate() {
   "$bench" --smoke --json "$run2" > /dev/null
   if ! diff -u "$run1" "$run2"; then
     echo "FAIL: serve bench JSON diverged between identical runs"
+    rm -f "$run1" "$run2"
+    return 1
+  fi
+  rm -f "$run1" "$run2"
+}
+
+# Fabric replay gate: the fabric co-simulation's smoke JSON holds only
+# virtual-time numbers and gate verdicts (wall-clock figures are full-mode
+# only), so two runs must write byte-identical JSON. A diff means the
+# epoch-barrier scheme, the flat NoC path or the partitioner picked up
+# hidden scheduling or iteration-order dependence.
+run_fabric_determinism_gate() {
+  local preset="$1"
+  local bench="./build/$preset/bench/bench_fabric_cosim"
+  if [[ ! -x "$bench" ]]; then
+    echo "==> [$preset] fabric determinism gate: bench not built; skipping"
+    return 0
+  fi
+  echo "==> [$preset] fabric determinism gate (two identical replays)"
+  local run1 run2
+  run1="$(mktemp)" && run2="$(mktemp)"
+  "$bench" --smoke --json "$run1" > /dev/null
+  "$bench" --smoke --json "$run2" > /dev/null
+  if ! diff -u "$run1" "$run2"; then
+    echo "FAIL: fabric bench JSON diverged between identical runs"
     rm -f "$run1" "$run2"
     return 1
   fi

@@ -245,8 +245,15 @@ void Fabric::ProcessAt(std::uint64_t stream_id, noc::NodeId node,
     }
     inflight_start_[packet.id] = start;
     inflight_index_[packet.id] = next_index;
+    const std::uint64_t packet_id = packet.id;
     if (Status s = noc_->Inject(std::move(packet)); !s.ok()) {
-      ++stats_[stream_id].failed;
+      // Injection-time drops (failed destination, cut-off source) already
+      // ran the drop handler, which erased the inflight entry and counted
+      // the failure; count here only when the mesh never saw the packet.
+      if (inflight_start_.erase(packet_id) > 0) {
+        ++stats_[stream_id].failed;
+      }
+      inflight_index_.erase(packet_id);
     }
   });
 }

@@ -248,6 +248,10 @@ class ThreadPool {
       }
       const auto begin = std::chrono::steady_clock::now();
       tl_in_parallel_ = true;
+      // Counted before the body runs: task() may fulfil a Submit future,
+      // and a caller returning from .get() must observe this task in the
+      // worker's totals.
+      slots_[w].tasks.fetch_add(1, std::memory_order_relaxed);
       task();  // packaged_task / Drain absorb exceptions
       tl_in_parallel_ = false;
       const auto elapsed =
@@ -256,7 +260,6 @@ class ThreadPool {
               .count();
       slots_[w].busy_ns.fetch_add(static_cast<std::uint64_t>(elapsed),
                                   std::memory_order_relaxed);
-      slots_[w].tasks.fetch_add(1, std::memory_order_relaxed);
     }
   }
 

@@ -66,6 +66,10 @@ struct InferResult {
   nn::Tensor output;
   CostReport cost;
   FaultReport fault_report;
+  // The share of `cost` attributable to interconnect traffic. Zero for a
+  // lone accelerator; fabric::FabricCoSim fills it in (and folds it into
+  // `cost`) when inter-tile activations ride the mesh NoC.
+  CostReport noc_cost;
 };
 
 class DpeAccelerator {

@@ -1,0 +1,137 @@
+// Fabric-scale co-simulation: a partitioned network's tiles execute real
+// DpeAccelerator work on host threads while their activations travel the
+// mesh NoC as packets — per-hop contention, virtual-channel QoS and link
+// failures shape the end-to-end latency/energy a fabric experiment reports.
+//
+// Epoch-barrier conservative scheme (the determinism contract of PRs 2–4,
+// extended to a distributed simulation):
+//   1. compute  — every tile with work this epoch runs its stage on the
+//                 thread pool. Tiles are the unit of parallelism; each tile
+//                 appears at most once per epoch and its accelerator is
+//                 serial (worker_threads = 1), so no state is shared.
+//   2. barrier  — on the calling thread, tile results are merged in
+//                 canonical (stage, split) order, the virtual clock advances
+//                 to epoch_start + max tile latency, and every inter-stage
+//                 activation packet is injected in canonical
+//                 (stage, src split, dst split) order at that instant.
+//   3. exchange — the event queue drains; deliveries land in (time, seq)
+//                 order fixed entirely by step 2.
+// Steps 2–3 are serial and step 1 writes only per-task slots, so outputs,
+// costs and NoC telemetry are bit-identical at any worker_threads — the
+// bench_fabric_cosim bit-identity gate and fabric_cosim_test pin this.
+//
+// The batch pipelines through the stages as a wavefront: in epoch e, stage
+// s works on batch element e − s, so up to stage_count elements are in
+// flight and every tile is busy in steady state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "dpe/accelerator.h"
+#include "dpe/params.h"
+#include "fabric/partition.h"
+#include "nn/network.h"
+#include "noc/mesh.h"
+
+namespace cim::fabric {
+
+struct FabricParams {
+  FabricPartitionParams partition;
+  // Per-tile accelerator config. worker_threads is forced to 1: tiles are
+  // the unit of host parallelism, and a serial accelerator per tile is what
+  // keeps the epoch schedule deterministic.
+  dpe::DpeParams dpe = dpe::DpeParams::Isaac();
+  // Mesh config; width/height are overridden from the partition grid.
+  noc::MeshParams mesh;
+  // Host threads co-simulating tiles (1 = serial, 0 = hardware concurrency).
+  // Purely a simulation-speed knob; results are bit-identical at every
+  // setting.
+  std::size_t worker_threads = 0;
+  // QoS class and modeled wire width of activation traffic.
+  noc::QosClass activation_qos = noc::QosClass::kBulk;
+  std::uint32_t bytes_per_activation = 8;
+  // Root seed; tile accelerators derive their programming/noise streams
+  // from (seed, tile index).
+  std::uint64_t seed = 0x5EEDFAB;
+
+  [[nodiscard]] Status Validate() const {
+    if (Status s = partition.Validate(); !s.ok()) return s;
+    if (bytes_per_activation == 0) {
+      return InvalidArgument("bytes_per_activation must be positive");
+    }
+    return Status::Ok();
+  }
+};
+
+class FabricCoSim : public noc::DeliverySink {
+ public:
+  [[nodiscard]] static Expected<std::unique_ptr<FabricCoSim>> Create(
+      const FabricParams& params, const nn::Network& net);
+
+  // Pipelined batch inference. Per element, InferResult::cost accumulates
+  // every stage's compute cost plus the element's NoC transfer cost (also
+  // broken out in InferResult::noc_cost); activations lost to link/node
+  // failures zero-fill their slice and count in fault_report.degraded.
+  // Bit-identical to the serial run at any worker_threads.
+  [[nodiscard]] Expected<std::vector<dpe::InferResult>> InferBatch(
+      std::span<const nn::Tensor> inputs);
+
+  [[nodiscard]] const FabricPlan& plan() const { return plan_; }
+  [[nodiscard]] const noc::MeshNoc& noc() const { return *noc_; }
+  [[nodiscard]] const noc::NocTelemetry& noc_telemetry() const {
+    return noc_->telemetry();
+  }
+  // Virtual time consumed so far (advances across batches).
+  [[nodiscard]] TimeNs now() const { return queue_.now(); }
+  [[nodiscard]] std::uint64_t epochs_run() const { return epochs_run_; }
+
+  // Fault hooks, applied between epochs (passthrough to the mesh).
+  [[nodiscard]] Status SetLinkFailed(noc::NodeId from, noc::Direction dir,
+                                     bool failed) {
+    return noc_->SetLinkFailed(from, dir, failed);
+  }
+  [[nodiscard]] Status SetNodeFailed(noc::NodeId node, bool failed) {
+    return noc_->SetNodeFailed(node, failed);
+  }
+
+  // DeliverySink — the co-simulator is the receiver on every tile node.
+  void OnDelivery(noc::Delivery&& delivery) override;
+  void OnDrop(const noc::Packet& packet, noc::DropReason reason) override;
+
+ private:
+  struct Tile {
+    std::unique_ptr<dpe::DpeAccelerator> accel;
+  };
+  // Per-batch-element pipeline state. An element sits in exactly one stage
+  // per epoch, so one input buffer and one running result suffice.
+  struct ElementState {
+    std::vector<double> next_input;  // assembled input for its next stage
+    dpe::InferResult result;
+    double transfer_ns_max = 0.0;  // worst packet of the current transition
+    std::uint64_t packets_received = 0;
+    std::uint64_t packets_dropped = 0;
+  };
+
+  FabricCoSim(const FabricParams& params, FabricPlan plan);
+
+  // Decode a packet id minted by InferBatch back to its batch element.
+  [[nodiscard]] std::size_t ElementOf(std::uint64_t packet_id) const;
+
+  FabricParams params_;
+  FabricPlan plan_;
+  EventQueue queue_;
+  std::optional<noc::MeshNoc> noc_;
+  std::vector<Tile> tiles_;  // same order as plan_.tiles
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<ElementState> elements_;
+  std::uint64_t epochs_run_ = 0;
+};
+
+}  // namespace cim::fabric

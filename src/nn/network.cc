@@ -249,6 +249,51 @@ Expected<std::vector<LayerProfile>> ProfileNetwork(const Network& net) {
   return profiles;
 }
 
+Expected<std::vector<std::vector<std::size_t>>> LayerInputShapes(
+    const Network& net) {
+  if (Status s = net.Validate(); !s.ok()) return s;
+  std::vector<std::vector<std::size_t>> shapes;
+  shapes.reserve(net.layers.size() + 1);
+  std::vector<std::size_t> shape = net.input_shape;
+  for (const Layer& layer : net.layers) {
+    if (std::holds_alternative<DenseLayer>(layer) && shape.size() == 3) {
+      shape = {shape[0] * shape[1] * shape[2]};
+    }
+    shapes.push_back(shape);
+    shape = std::visit(ShapeVisitor{shape}, layer);
+  }
+  shapes.push_back(std::move(shape));
+  return shapes;
+}
+
+Expected<DenseLayer> SliceDenseOutputs(const DenseLayer& layer,
+                                       std::size_t begin, std::size_t count) {
+  if (count == 0) return InvalidArgument("empty dense slice");
+  if (begin + count > layer.out_features) {
+    return OutOfRange("dense slice past out_features");
+  }
+  if (layer.weights.size() != layer.in_features * layer.out_features ||
+      layer.bias.size() != layer.out_features) {
+    return InvalidArgument("dense layer weight/bias size mismatch");
+  }
+  DenseLayer slice;
+  slice.in_features = layer.in_features;
+  slice.out_features = count;
+  slice.activation = layer.activation;
+  slice.weights.resize(layer.in_features * count);
+  for (std::size_t i = 0; i < layer.in_features; ++i) {
+    const std::size_t src = i * layer.out_features + begin;
+    const std::size_t dst = i * count;
+    for (std::size_t o = 0; o < count; ++o) {
+      slice.weights[dst + o] = layer.weights[src + o];
+    }
+  }
+  slice.bias.assign(layer.bias.begin() + static_cast<std::ptrdiff_t>(begin),
+                    layer.bias.begin() +
+                        static_cast<std::ptrdiff_t>(begin + count));
+  return slice;
+}
+
 Network BuildMlp(const std::string& name,
                  const std::vector<std::size_t>& widths, Rng& rng,
                  double scale) {

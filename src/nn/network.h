@@ -78,6 +78,22 @@ struct LayerProfile {
 [[nodiscard]] Expected<std::vector<LayerProfile>> ProfileNetwork(
     const Network& net);
 
+// Shape walk: result[i] is the shape layer i consumes (after the implicit
+// conv→dense flatten) and result[layers.size()] is the network output shape.
+// The fabric partitioner uses this to give each pipeline stage its input
+// shape without re-deriving layer semantics.
+[[nodiscard]] Expected<std::vector<std::vector<std::size_t>>> LayerInputShapes(
+    const Network& net);
+
+// Slice a dense layer to the output features [begin, begin + count): weight
+// columns and bias entries, same activation. Feeding the full input through
+// each slice and concatenating the outputs in order reproduces the unsliced
+// layer exactly — column math is independent of its neighbors — which is
+// what makes fabric column-splits bit-exact on noise-free devices.
+[[nodiscard]] Expected<DenseLayer> SliceDenseOutputs(const DenseLayer& layer,
+                                                     std::size_t begin,
+                                                     std::size_t count);
+
 // --- builders -------------------------------------------------------------
 
 // MLP with the given layer widths (first entry = input features), random

@@ -7,13 +7,21 @@
 // QoS class and services the highest-priority class first. Links can be
 // failed and restored at runtime — the basis of the §IV.B failover and §V.A
 // stream-redirection experiments.
+//
+// Two injection-path implementations share the routing, arbitration and
+// telemetry logic (NocPath below): the reference path carries each Packet
+// through per-hop closures, the flat path carries a 32-bit index into a
+// pooled flight table through tagged events. Results are bit-identical; the
+// flat path is what lets fabric-scale co-simulation push millions of packets
+// per run (see bench_fabric_cosim).
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/event_queue.h"
@@ -23,6 +31,18 @@
 
 namespace cim::noc {
 
+// Injection-path policy (same shape as crossbar::KernelPolicy): kReference
+// keeps the original closure-per-hop / deque-of-Packet implementation as the
+// golden model; kFlat (the default) is the SoA hot path — pooled flight
+// slots, per-link index queues, allocation-free tagged events, batched heap
+// reservation. Both paths draw events from one (when, sequence) order, so
+// deliveries, drops, timestamps and telemetry are bit-identical — pinned by
+// the noc_test differential suite and re-checked by bench_fabric_cosim.
+enum class NocPath : std::uint8_t {
+  kReference = 0,
+  kFlat = 1,
+};
+
 struct MeshParams {
   std::uint16_t width = 4;
   std::uint16_t height = 4;
@@ -31,6 +51,7 @@ struct MeshParams {
   TimeNs link_latency{2.0};           // wire time-of-flight per hop
   EnergyPj hop_energy_per_byte{1.0};
   EnergyPj router_energy{10.0};       // per packet per hop
+  NocPath path = NocPath::kFlat;
 
   [[nodiscard]] Status Validate() const {
     if (width == 0 || height == 0) return InvalidArgument("empty mesh");
@@ -57,6 +78,21 @@ enum class DropReason : std::uint8_t {
   kNodeFailed,      // destination node marked failed
 };
 
+// Allocation-free receiver for fabric-scale consumers: one object serves
+// many nodes and decodes the packet itself, instead of binding a
+// std::function per node. When both a sink and a handler are registered for
+// a node, the sink wins. OnDrop is routed to the *destination* node's sink
+// (the consumer that was waiting for the packet), for drops anywhere along
+// the route.
+class DeliverySink {
+ public:
+  virtual void OnDelivery(Delivery&& delivery) = 0;
+  virtual void OnDrop(const Packet& packet, DropReason reason) = 0;
+
+ protected:
+  ~DeliverySink() = default;
+};
+
 struct NocTelemetry {
   std::uint64_t injected = 0;
   std::uint64_t delivered = 0;
@@ -68,7 +104,7 @@ struct NocTelemetry {
   std::array<RunningStat, kQosClassCount> latency_by_class;
 };
 
-class MeshNoc {
+class MeshNoc : public EventQueue::TagHandler {
  public:
   using DeliveryHandler = std::function<void(const Delivery&)>;
   using DropHandler = std::function<void(const Packet&, DropReason)>;
@@ -78,12 +114,46 @@ class MeshNoc {
 
   [[nodiscard]] const MeshParams& params() const { return params_; }
 
-  // Receiver registration. A node without a handler silently consumes.
+  // Receiver registration. A node without a handler or sink silently
+  // consumes. The sink must outlive the mesh (raw pointer; pass nullptr to
+  // unregister).
   void SetDeliveryHandler(NodeId node, DeliveryHandler handler);
+  void SetDeliverySink(NodeId node, DeliverySink* sink);
   void SetDropHandler(DropHandler handler) { on_drop_ = std::move(handler); }
 
-  // Inject a packet at its source at the current simulated time.
-  Status Inject(Packet packet);
+  // Inject a packet at its source at the current simulated time. Faults
+  // detectable at the source are reported immediately:
+  //   endpoints outside the mesh  -> kInvalidArgument, not counted
+  //   source node failed          -> kUnavailable, not counted (the packet
+  //                                  never entered the network)
+  //   destination node failed     -> kUnavailable; counted injected AND
+  //                                  dropped (DropReason::kNodeFailed), so
+  //                                  injected == delivered + dropped holds
+  //   no usable link at source    -> kFailedPrecondition; counted injected
+  //                                  AND dropped (DropReason::kUnroutable)
+  // Faults that develop mid-route surface through the drop handler/sink
+  // only. Every drop is counted in NocTelemetry whether or not a handler is
+  // registered.
+  [[nodiscard]] Status Inject(Packet packet);
+
+  // Batched injection for epoch-barrier producers: reserves event-heap and
+  // flight-pool space once, then injects in span order (packets are
+  // consumed). On the flat path the whole burst is staged into flight slots
+  // behind a single tagged event whose dispatch replays the arrivals in
+  // injection order — identical processing order/times/decisions to N
+  // per-packet events at a fraction of the insertion cost. Per-packet drops
+  // are individually accounted as in Inject; the first non-ok status is
+  // returned after the whole span is processed.
+  [[nodiscard]] Status InjectBurst(std::span<Packet> packets);
+
+  // Zero-copy burst: takes the caller's buffer wholesale. On the healthy
+  // flat path admission is just bounds checks + timestamps — packets move
+  // into flight slots at dispatch, not at injection — so the injection
+  // path is O(n) validation plus one event for the whole burst. Faulted
+  // meshes and the reference path fall back to the span overload.
+  // Epoch-barrier producers that mint a fresh packet vector per exchange
+  // (fabric::FabricCoSim) should prefer this form.
+  [[nodiscard]] Status InjectBurst(std::vector<Packet>&& packets);
 
   // Fault hooks: fail/restore a node or one directed link.
   Status SetNodeFailed(NodeId node, bool failed);
@@ -93,12 +163,19 @@ class MeshNoc {
   [[nodiscard]] const NocTelemetry& telemetry() const { return telemetry_; }
   // Per-stream latency stats.
   [[nodiscard]] const RunningStat* StreamLatency(std::uint64_t stream) const;
+  // All per-stream stats, sorted by stream id — deterministic and
+  // byte-stable to iterate for telemetry dumps (never hash order).
+  [[nodiscard]] std::span<const std::pair<std::uint64_t, RunningStat>>
+  stream_latencies() const {
+    return stream_latency_;
+  }
 
  private:
   struct Link {
     bool failed = false;
     TimeNs busy_until{0.0};
-    // One queue per QoS class, serviced highest priority first.
+    // One queue per QoS class, serviced highest priority first
+    // (reference path only; the flat path queues indices in FlatLink).
     std::array<std::deque<Packet>, kQosClassCount> queues;
     std::array<std::deque<int>, kQosClassCount> queued_hops;
     bool drain_scheduled = false;
@@ -106,7 +183,31 @@ class MeshNoc {
   struct Node {
     bool failed = false;
     DeliveryHandler handler;
+    DeliverySink* sink = nullptr;
   };
+
+  // --- flat-path state: a packet in flight owns one pooled slot; link
+  // queues and events carry the 32-bit slot index instead of the Packet.
+  struct Flight {
+    Packet packet;
+    NodeId at;      // node the packet is arriving at / queued to leave from
+    int hops = 0;
+  };
+  struct FlatLink {
+    TimeNs busy_until{0.0};
+    bool drain_scheduled = false;
+    // Index queues per QoS class; head is the pop cursor and the vector is
+    // compacted when it empties, so steady state never reallocates.
+    std::array<std::vector<std::uint32_t>, kQosClassCount> queue;
+    std::array<std::size_t, kQosClassCount> head{};
+  };
+  // Tag encoding for EventQueue::TagHandler dispatch: drain events set the
+  // top bit and carry the link index; staged-burst events set bit 62 and
+  // carry the staged-arrival count; owned-burst events set bit 61 (bursts
+  // are consumed FIFO); bare tags are single-flight arrival slots.
+  static constexpr std::uint64_t kTagDrainBit = 1ULL << 63;
+  static constexpr std::uint64_t kTagBurstBit = 1ULL << 62;
+  static constexpr std::uint64_t kTagOwnedBurstBit = 1ULL << 61;
 
   MeshNoc(const MeshParams& params, EventQueue* queue);
 
@@ -131,20 +232,51 @@ class MeshNoc {
   [[nodiscard]] Expected<Direction> NextHop(NodeId at, NodeId dst,
                                             bool* rerouted) const;
 
+  // Shared delivery/drop bookkeeping (both paths).
+  void Deliver(Packet&& packet, int hops);
+  void Drop(const Packet& packet, DropReason reason);
+  RunningStat& StreamSlot(std::uint64_t stream);
+  // Validation + injected/drop accounting shared by Inject and InjectBurst;
+  // on Ok the packet is stamped, counted and cleared to enter the network.
+  [[nodiscard]] Status AdmitPacket(Packet& packet);
+  void RecomputeAnyFailure();
+
+  // Reference path.
   void ArriveAt(Packet packet, NodeId node, int hops);
   void TraverseLink(Packet packet, NodeId from, Direction dir, int hops);
-  void StartTransmission(std::size_t link_idx, NodeId from, Direction dir,
-                         Packet packet, int hops);
   void DrainLink(std::size_t link_idx, NodeId from, Direction dir);
-  void Drop(const Packet& packet, DropReason reason);
+
+  // Flat path.
+  void OnTagEvent(std::uint64_t tag) override;
+  std::uint32_t AllocFlight(Packet&& packet, NodeId at, int hops);
+  void FreeFlight(std::uint32_t idx) { flight_free_.push_back(idx); }
+  void FlatArrive(std::uint32_t idx);
+  void FlatTraverse(std::uint32_t idx, NodeId from, Direction dir);
+  void FlatDrain(std::size_t link_idx);
 
   MeshParams params_;
   EventQueue* queue_;
   std::vector<Node> nodes_;
+  // Link fault flags live in links_ for both paths; the reference packet
+  // queues inside are unused when params_.path == kFlat.
   std::vector<Link> links_;
+  std::vector<FlatLink> flat_links_;
+  std::vector<Flight> flights_;
+  std::vector<std::uint32_t> flight_free_;
+  // Flights staged by InjectBurst, consumed FIFO by their burst tag event.
+  std::vector<std::uint32_t> burst_staged_;
+  std::size_t burst_cursor_ = 0;
+  // Whole buffers handed over by the owned InjectBurst, consumed FIFO.
+  std::vector<std::vector<Packet>> owned_bursts_;
+  std::size_t owned_cursor_ = 0;
+  // True iff any node or link is currently failed; lets the healthy
+  // injection path skip its fault probes (see AdmitPacket).
+  bool any_failure_ = false;
   DropHandler on_drop_;
   NocTelemetry telemetry_;
-  std::unordered_map<std::uint64_t, RunningStat> stream_latency_;
+  // Sorted by stream id (binary-search insert): deterministic iteration,
+  // nothing for the unordered-iteration lint rule to flag.
+  std::vector<std::pair<std::uint64_t, RunningStat>> stream_latency_;
 };
 
 }  // namespace cim::noc

@@ -1,0 +1,306 @@
+// Fabric-scale co-simulation (src/fabric): partition correctness, the
+// golden bit-for-bit contract against a single accelerator, thread-count
+// bit-identity of the epoch-barrier scheme, and packet conservation under
+// injected faults. Labeled "fabric" + "concurrency" in CMake so every CI
+// leg (tsan included) runs it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dpe/accelerator.h"
+#include "fabric/cosim.h"
+#include "fabric/partition.h"
+#include "nn/network.h"
+#include "noc/mesh.h"
+
+namespace cim::fabric {
+namespace {
+
+nn::Network TwoLayerMlp(std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return nn::BuildMlp("fab", {16, 24, 10}, rng);
+}
+
+FabricParams NoiselessParams() {
+  FabricParams p;
+  p.dpe.array.cell.read_noise_sigma = 0.0;
+  p.dpe.array.cell.write_noise_sigma = 0.0;
+  return p;
+}
+
+std::vector<nn::Tensor> MakeInputs(const std::vector<std::size_t>& shape,
+                                   std::size_t count, Rng& rng) {
+  std::vector<nn::Tensor> inputs;
+  for (std::size_t b = 0; b < count; ++b) {
+    nn::Tensor t(shape);
+    for (auto& v : t.vec()) v = rng.Uniform(0.0, 1.0);
+    inputs.push_back(std::move(t));
+  }
+  return inputs;
+}
+
+void ExpectResultsBitIdentical(const dpe::InferResult& a,
+                               const dpe::InferResult& b) {
+  ASSERT_EQ(a.output.size(), b.output.size());
+  for (std::size_t i = 0; i < a.output.size(); ++i) {
+    EXPECT_EQ(a.output[i], b.output[i]) << "output " << i;
+  }
+  EXPECT_EQ(a.cost.latency_ns, b.cost.latency_ns);
+  EXPECT_EQ(a.cost.energy_pj, b.cost.energy_pj);
+  EXPECT_EQ(a.cost.bytes_moved, b.cost.bytes_moved);
+  EXPECT_EQ(a.cost.operations, b.cost.operations);
+  EXPECT_EQ(a.noc_cost.latency_ns, b.noc_cost.latency_ns);
+  EXPECT_EQ(a.noc_cost.energy_pj, b.noc_cost.energy_pj);
+  EXPECT_EQ(a.fault_report.degraded, b.fault_report.degraded);
+}
+
+// --- partitioner ----------------------------------------------------------
+
+TEST(PartitionTest, DefaultsToOneStagePerMvmLayer) {
+  const nn::Network net = TwoLayerMlp();
+  FabricPartitionParams params;  // 2x2 grid, stages=0, column_splits=1
+  auto plan = PartitionNetwork(net, params);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->stage_count, 2u);
+  EXPECT_EQ(plan->splits_per_stage, 1u);
+  ASSERT_EQ(plan->tiles.size(), 2u);
+  EXPECT_EQ(plan->stage_input_shape[0], std::vector<std::size_t>{16});
+  EXPECT_EQ(plan->stage_input_shape[1], std::vector<std::size_t>{24});
+  EXPECT_EQ(plan->stage_out_dim[0], 24u);
+  EXPECT_EQ(plan->stage_out_dim[1], 10u);
+  EXPECT_EQ(plan->output_shape, std::vector<std::size_t>{10});
+  // Row-major placement on the grid.
+  EXPECT_EQ(plan->tiles[0].node, (noc::NodeId{0, 0}));
+  EXPECT_EQ(plan->tiles[1].node, (noc::NodeId{1, 0}));
+}
+
+TEST(PartitionTest, ColumnSplitsShardDenseOutputs) {
+  const nn::Network net = TwoLayerMlp();
+  FabricPartitionParams params;
+  params.column_splits = 2;
+  auto plan = PartitionNetwork(net, params);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->tiles.size(), 4u);
+  // Stage 0 has 24 outputs: shards [0, 12) and [12, 24).
+  EXPECT_EQ(plan->tile(0, 0).out_begin, 0u);
+  EXPECT_EQ(plan->tile(0, 0).out_count, 12u);
+  EXPECT_EQ(plan->tile(0, 1).out_begin, 12u);
+  EXPECT_EQ(plan->tile(0, 1).out_count, 12u);
+  // Stage 1 has 10 outputs: shards [0, 5) and [5, 10).
+  EXPECT_EQ(plan->tile(1, 0).out_count, 5u);
+  EXPECT_EQ(plan->tile(1, 1).out_begin, 5u);
+  // Every subnet revalidates.
+  for (const TileSpec& t : plan->tiles) {
+    EXPECT_TRUE(t.subnet.Validate().ok()) << t.subnet.name;
+  }
+}
+
+TEST(PartitionTest, RejectsGridOverflow) {
+  const nn::Network net = TwoLayerMlp();
+  FabricPartitionParams params;
+  params.grid_width = 1;
+  params.grid_height = 1;  // 2 stages need 2 tiles
+  EXPECT_EQ(PartitionNetwork(net, params).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(PartitionTest, RejectsMoreStagesThanMvmLayers) {
+  const nn::Network net = TwoLayerMlp();
+  FabricPartitionParams params;
+  params.stages = 3;
+  EXPECT_EQ(PartitionNetwork(net, params).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(PartitionTest, RejectsColumnSplitOfMultiLayerStage) {
+  Rng rng(9);
+  // One stage spanning both dense layers cannot be column-split.
+  const nn::Network net = nn::BuildMlp("m", {8, 8, 4}, rng);
+  FabricPartitionParams params;
+  params.stages = 1;
+  params.column_splits = 2;
+  EXPECT_EQ(PartitionNetwork(net, params).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+// --- golden: fabric output == single accelerator output -------------------
+
+TEST(FabricCoSimTest, NoiselessPartitionMatchesSingleAcceleratorBitForBit) {
+  const nn::Network net = TwoLayerMlp();
+  FabricParams params = NoiselessParams();
+  params.partition.column_splits = 2;  // 2 stages x 2 splits on a 2x2 grid
+  params.worker_threads = 1;
+
+  auto fabric = FabricCoSim::Create(params, net);
+  ASSERT_TRUE(fabric.ok());
+
+  dpe::DpeParams single = params.dpe;
+  single.worker_threads = 1;
+  auto accel = dpe::DpeAccelerator::Create(single, net, Rng(1));
+  ASSERT_TRUE(accel.ok());
+
+  Rng rng(31);
+  const std::vector<nn::Tensor> inputs = MakeInputs({16}, 4, rng);
+  auto results = (*fabric)->InferBatch(inputs);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), inputs.size());
+  for (std::size_t b = 0; b < inputs.size(); ++b) {
+    auto reference = (*accel)->Infer(inputs[b]);
+    ASSERT_TRUE(reference.ok());
+    ASSERT_EQ((*results)[b].output.size(), reference->output.size());
+    for (std::size_t i = 0; i < reference->output.size(); ++i) {
+      EXPECT_EQ((*results)[b].output[i], reference->output[i])
+          << "element " << b << " output " << i;
+    }
+  }
+}
+
+// --- NoC cost shows up in InferResult -------------------------------------
+
+TEST(FabricCoSimTest, NocCostIsNonzeroAndFoldedIntoTotal) {
+  const nn::Network net = TwoLayerMlp();
+  FabricParams params = NoiselessParams();
+  params.worker_threads = 1;
+  auto fabric = FabricCoSim::Create(params, net);
+  ASSERT_TRUE(fabric.ok());
+
+  Rng rng(33);
+  const std::vector<nn::Tensor> inputs = MakeInputs({16}, 3, rng);
+  auto results = (*fabric)->InferBatch(inputs);
+  ASSERT_TRUE(results.ok());
+  for (const dpe::InferResult& r : *results) {
+    // Every element crosses exactly one stage boundary over the mesh.
+    EXPECT_GT(r.noc_cost.latency_ns, 0.0);
+    EXPECT_GT(r.noc_cost.energy_pj, 0.0);
+    EXPECT_GT(r.noc_cost.bytes_moved, 0.0);
+    // The NoC share is folded into the headline cost.
+    EXPECT_GE(r.cost.latency_ns, r.noc_cost.latency_ns);
+    EXPECT_GE(r.cost.energy_pj, r.noc_cost.energy_pj);
+    EXPECT_EQ(r.fault_report.degraded, 0u);
+  }
+  const noc::NocTelemetry& t = (*fabric)->noc_telemetry();
+  EXPECT_EQ(t.injected, t.delivered);
+  EXPECT_EQ(t.dropped, 0u);
+}
+
+// --- determinism: bit-identical at any worker_threads ---------------------
+
+class FabricThreads : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FabricThreads, BatchIsBitIdenticalToSerialRun) {
+  const nn::Network net = TwoLayerMlp();
+  Rng rng(41);
+  const std::vector<nn::Tensor> inputs = MakeInputs({16}, 6, rng);
+
+  // Noise left ON: the contract is that host scheduling cannot influence
+  // any value, noise streams included.
+  FabricParams serial;
+  serial.partition.column_splits = 2;
+  serial.worker_threads = 1;
+  FabricParams threaded = serial;
+  threaded.worker_threads = GetParam();
+
+  auto a = FabricCoSim::Create(serial, net);
+  auto b = FabricCoSim::Create(threaded, net);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto ra = (*a)->InferBatch(inputs);
+  auto rb = (*b)->InferBatch(inputs);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->size(), rb->size());
+  for (std::size_t i = 0; i < ra->size(); ++i) {
+    ExpectResultsBitIdentical((*ra)[i], (*rb)[i]);
+  }
+  // Telemetry and the virtual clock agree too.
+  EXPECT_EQ((*a)->noc_telemetry().injected, (*b)->noc_telemetry().injected);
+  EXPECT_EQ((*a)->noc_telemetry().delivered,
+            (*b)->noc_telemetry().delivered);
+  EXPECT_EQ((*a)->now().ns, (*b)->now().ns);
+  EXPECT_EQ((*a)->epochs_run(), (*b)->epochs_run());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, FabricThreads,
+                         ::testing::Values(1, 2, 8));
+
+// --- packet conservation under faults -------------------------------------
+
+class FabricFaults : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FabricFaults, ConservationAndGracefulDegradeUnderFailures) {
+  const nn::Network net = TwoLayerMlp();
+  FabricParams params = NoiselessParams();
+  params.partition.column_splits = 2;
+  params.worker_threads = GetParam();
+  params.activation_qos = noc::QosClass::kRealtime;
+  auto fabric = FabricCoSim::Create(params, net);
+  ASSERT_TRUE(fabric.ok());
+
+  Rng rng(51);
+  const std::vector<nn::Tensor> inputs = MakeInputs({16}, 4, rng);
+
+  // Healthy warm-up batch, then cut a link and kill a consumer tile.
+  auto healthy = (*fabric)->InferBatch(inputs);
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_TRUE(
+      (*fabric)->SetLinkFailed({0, 0}, noc::Direction::kEast, true).ok());
+  ASSERT_TRUE(
+      (*fabric)
+          ->SetNodeFailed((*fabric)->plan().tile(1, 1).node, true)
+          .ok());
+  auto degraded = (*fabric)->InferBatch(inputs);
+  ASSERT_TRUE(degraded.ok());
+
+  // Every packet is accounted for: injected == delivered + dropped.
+  const noc::NocTelemetry& t = (*fabric)->noc_telemetry();
+  EXPECT_EQ(t.injected, t.delivered + t.dropped);
+  EXPECT_GT(t.dropped, 0u);
+
+  // Lost activations degrade the element instead of failing the batch:
+  // the dead tile's input slice zero-fills and degraded counts the drops.
+  std::uint64_t total_degraded = 0;
+  for (const dpe::InferResult& r : *degraded) {
+    ASSERT_EQ(r.output.size(), 10u);
+    total_degraded += r.fault_report.degraded;
+  }
+  EXPECT_GT(total_degraded, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, FabricFaults,
+                         ::testing::Values(1, 2, 8));
+
+// --- fault schedules are thread-count invariant too -----------------------
+
+TEST(FabricCoSimTest, FaultScheduleBitIdenticalAcrossThreadCounts) {
+  const nn::Network net = TwoLayerMlp();
+  Rng rng(61);
+  const std::vector<nn::Tensor> inputs = MakeInputs({16}, 5, rng);
+
+  auto run = [&](std::size_t threads) {
+    FabricParams params = NoiselessParams();
+    params.partition.column_splits = 2;
+    params.worker_threads = threads;
+    auto fabric = FabricCoSim::Create(params, net);
+    EXPECT_TRUE(fabric.ok());
+    EXPECT_TRUE(
+        (*fabric)
+            ->SetNodeFailed((*fabric)->plan().tile(1, 0).node, true)
+            .ok());
+    auto results = (*fabric)->InferBatch(inputs);
+    EXPECT_TRUE(results.ok());
+    return std::make_pair(std::move(*results),
+                          (*fabric)->noc_telemetry().dropped);
+  };
+
+  auto [serial, serial_dropped] = run(1);
+  auto [threaded, threaded_dropped] = run(8);
+  EXPECT_EQ(serial_dropped, threaded_dropped);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ExpectResultsBitIdentical(serial[i], threaded[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cim::fabric

@@ -169,10 +169,14 @@ TEST(MeshNocTest, FailedDestinationDropsPacket) {
     ++drops;
   });
   ASSERT_TRUE(noc->SetNodeFailed({2, 2}, true).ok());
-  ASSERT_TRUE(noc->Inject(MakePacket(1, {0, 0}, {2, 2})).ok());
+  // A dead destination is detectable at injection time: the packet is
+  // counted (injected + dropped) and the caller learns immediately.
+  EXPECT_EQ(noc->Inject(MakePacket(1, {0, 0}, {2, 2})).code(),
+            ErrorCode::kUnavailable);
   queue.Run();
   EXPECT_EQ(drops, 1);
   EXPECT_EQ(reason, DropReason::kNodeFailed);
+  EXPECT_EQ(noc->telemetry().injected, 1u);
   EXPECT_EQ(noc->telemetry().dropped, 1u);
 }
 
@@ -198,10 +202,15 @@ TEST(MeshNocTest, FullyCutRegionDropsAsUnroutable) {
   // The only link east is failed and there is no second dimension to turn
   // into (1-row mesh).
   ASSERT_TRUE(noc->SetLinkFailed({0, 0}, Direction::kEast, true).ok());
-  ASSERT_TRUE(noc->Inject(MakePacket(1, {0, 0}, {1, 0})).ok());
+  // No usable link out of the source: reported at injection, packet still
+  // accounted for in telemetry as injected + dropped.
+  EXPECT_EQ(noc->Inject(MakePacket(1, {0, 0}, {1, 0})).code(),
+            ErrorCode::kFailedPrecondition);
   queue.Run(100000);
   EXPECT_EQ(drops, 1);
   EXPECT_EQ(reason, DropReason::kUnroutable);
+  EXPECT_EQ(noc->telemetry().injected, 1u);
+  EXPECT_EQ(noc->telemetry().dropped, 1u);
 }
 
 TEST(MeshNocTest, LinkRestoredAfterFailure) {
@@ -288,6 +297,79 @@ TEST_P(NocDeliveryProperty, AllPacketsDeliveredExactlyOnce) {
 
 INSTANTIATE_TEST_SUITE_P(TrafficLoads, NocDeliveryProperty,
                          ::testing::Values(10, 100, 1000));
+
+// The zero-copy owned burst must be indistinguishable from per-packet
+// injection: same deliveries, same times, same telemetry — on the flat
+// path (which stages the whole buffer behind one event) and on the
+// reference path (which falls back to per-packet admission).
+TEST(MeshNocTest, OwnedBurstMatchesPerPacketInjection) {
+  struct Outcome {
+    std::vector<std::uint64_t> ids;
+    std::vector<double> times;
+    std::uint64_t injected = 0, delivered = 0;
+  };
+  const auto run = [](NocPath path, bool owned_burst) {
+    EventQueue queue;
+    MeshParams params = SmallMesh();
+    params.path = path;
+    auto noc = MeshNoc::Create(params, &queue);
+    Outcome out;
+    for (std::uint16_t x = 0; x < 4; ++x) {
+      for (std::uint16_t y = 0; y < 4; ++y) {
+        noc->SetDeliveryHandler({x, y}, [&out](const Delivery& d) {
+          out.ids.push_back(d.packet.id);
+          out.times.push_back(d.delivered_at.ns);
+        });
+      }
+    }
+    std::vector<Packet> burst;
+    Rng rng(41);
+    for (std::uint64_t i = 1; i <= 40; ++i) {
+      const NodeId src{static_cast<std::uint16_t>(rng.NextBounded(4)),
+                       static_cast<std::uint16_t>(rng.NextBounded(4))};
+      const NodeId dst{static_cast<std::uint16_t>(rng.NextBounded(4)),
+                       static_cast<std::uint16_t>(rng.NextBounded(4))};
+      burst.push_back(MakePacket(i, src, dst));
+    }
+    if (owned_burst) {
+      EXPECT_TRUE(noc->InjectBurst(std::move(burst)).ok());
+    } else {
+      for (Packet& p : burst) EXPECT_TRUE(noc->Inject(std::move(p)).ok());
+    }
+    queue.Run();
+    out.injected = noc->telemetry().injected;
+    out.delivered = noc->telemetry().delivered;
+    return out;
+  };
+  const Outcome flat_single = run(NocPath::kFlat, false);
+  const Outcome flat_owned = run(NocPath::kFlat, true);
+  const Outcome ref_owned = run(NocPath::kReference, true);
+  EXPECT_EQ(flat_single.injected, 40u);
+  EXPECT_EQ(flat_single.delivered, 40u);
+  for (const Outcome* other : {&flat_owned, &ref_owned}) {
+    EXPECT_EQ(flat_single.ids, other->ids);
+    EXPECT_EQ(flat_single.times, other->times);
+    EXPECT_EQ(flat_single.injected, other->injected);
+    EXPECT_EQ(flat_single.delivered, other->delivered);
+  }
+}
+
+// Out-of-bounds packets in an owned burst surface kInvalidArgument and are
+// never counted; the in-bounds remainder still flows.
+TEST(MeshNocTest, OwnedBurstSkipsOutOfBoundsUncounted) {
+  EventQueue queue;
+  auto noc = MeshNoc::Create(SmallMesh(), &queue);
+  std::vector<Packet> burst;
+  burst.push_back(MakePacket(1, {0, 0}, {3, 3}));
+  burst.push_back(MakePacket(2, {0, 0}, {9, 9}));  // out of bounds
+  burst.push_back(MakePacket(3, {1, 1}, {2, 2}));
+  EXPECT_EQ(noc->InjectBurst(std::move(burst)).code(),
+            ErrorCode::kInvalidArgument);
+  queue.Run();
+  EXPECT_EQ(noc->telemetry().injected, 2u);
+  EXPECT_EQ(noc->telemetry().delivered, 2u);
+  EXPECT_EQ(noc->telemetry().dropped, 0u);
+}
 
 }  // namespace
 }  // namespace cim::noc
