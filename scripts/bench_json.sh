@@ -15,8 +15,14 @@
 #                        bit-identity and NoC-cost gates, tile-count sweep,
 #                        parallel co-sim speedup and the flat-vs-reference
 #                        NoC injection-path throughput gate.
+#   bench_dse_sweep      design-space exploration — the full SweepSpec grid
+#                        scored on {accuracy, latency, energy, area}, the
+#                        noise-fidelity/area monotonicity gates, serial
+#                        bit-identity, and the Pareto frontier (no
+#                        wall-clock values, so the report replays
+#                        byte-identically; scripts/check.sh diffs it).
 #
-# Writes BENCH_PR9.json at the repo root (CI uploads it as an artifact;
+# Writes BENCH_PR10.json at the repo root (CI uploads it as an artifact;
 # EXPERIMENTS.md explains the numbers).
 #
 # Usage:
@@ -27,8 +33,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset="relwithdebinfo"
-out="BENCH_PR9.json"
-benches=(bench_mvm_kernel bench_serve_latency bench_fabric_cosim)
+out="BENCH_PR10.json"
+benches=(bench_mvm_kernel bench_serve_latency bench_fabric_cosim bench_dse_sweep)
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)" --target "${benches[@]}"

@@ -33,6 +33,8 @@ run_lint() {
   echo "==> [$preset] cimlint (diff-baseline)"
   "$build_dir/tools/cimlint/cimlint" --root . --diff-baseline \
       src bench examples tests tools
+  echo "==> [$preset] docs link check"
+  scripts/check_docs_links.sh
 }
 
 run_preset() {
@@ -62,6 +64,8 @@ run_preset() {
     ctest --test-dir "build/$preset" -L serve --output-on-failure
     echo "==> [$preset] ctest (fabric label)"
     ctest --test-dir "build/$preset" -L fabric --output-on-failure
+    echo "==> [$preset] ctest (dse label)"
+    ctest --test-dir "build/$preset" -L dse --output-on-failure
     return 0
   fi
   echo "==> [$preset] ctest"
@@ -70,10 +74,13 @@ run_preset() {
   ctest --preset "$preset" -L serve
   echo "==> [$preset] ctest (fabric label)"
   ctest --preset "$preset" -L fabric
+  echo "==> [$preset] ctest (dse label)"
+  ctest --preset "$preset" -L dse
   if [[ "$preset" == "relwithdebinfo" ]]; then
     run_fault_determinism_gate "$preset"
     run_serve_determinism_gate "$preset"
     run_fabric_determinism_gate "$preset"
+    run_dse_determinism_gate "$preset"
     run_perf_gate "$preset"
   fi
 }
@@ -82,13 +89,13 @@ run_preset() {
 # + the kFastNoise statistical-equivalence suite + both bench smokes) plus
 # the full bench artifact build (scripts/bench_json.sh), which enforces the
 # kernel speedup gates and the serving availability/recovery gates and
-# writes the merged BENCH_PR9.json — the artifact CI uploads and
+# writes the merged BENCH_PR10.json — the artifact CI uploads and
 # EXPERIMENTS.md documents.
 run_perf_gate() {
   local preset="$1"
   echo "==> [$preset] ctest (perf label)"
   ctest --preset "$preset" -L perf
-  echo "==> [$preset] bench artifact (speedup + availability gates, BENCH_PR9.json)"
+  echo "==> [$preset] bench artifact (speedup + availability gates, BENCH_PR10.json)"
   scripts/bench_json.sh
 }
 
@@ -135,6 +142,30 @@ run_fabric_determinism_gate() {
   "$bench" --smoke --json "$run2" > /dev/null
   if ! diff -u "$run1" "$run2"; then
     echo "FAIL: fabric bench JSON diverged between identical runs"
+    rm -f "$run1" "$run2"
+    return 1
+  fi
+  rm -f "$run1" "$run2"
+}
+
+# DSE replay gate: the sweep artifact is a pure function of the spec and
+# the root seed (every point derives its own RNG streams), so two full
+# sweeps must write byte-identical JSON. A diff means a design point picked
+# up state from thread scheduling or from a neighbouring point.
+run_dse_determinism_gate() {
+  local preset="$1"
+  local bench="./build/$preset/bench/bench_dse_sweep"
+  if [[ ! -x "$bench" ]]; then
+    echo "==> [$preset] dse determinism gate: bench not built; skipping"
+    return 0
+  fi
+  echo "==> [$preset] dse determinism gate (two identical replays)"
+  local run1 run2
+  run1="$(mktemp)" && run2="$(mktemp)"
+  "$bench" --smoke --json "$run1" > /dev/null
+  "$bench" --smoke --json "$run2" > /dev/null
+  if ! diff -u "$run1" "$run2"; then
+    echo "FAIL: dse sweep JSON diverged between identical runs"
     rm -f "$run1" "$run2"
     return 1
   fi

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Docs link checker: every intra-repo reference in the markdown docs must
+# resolve. Runs in the fast lint gate (scripts/check.sh --lint-only and the
+# CI lint job) so docs rot fails a PR the same way a layering violation does.
+#
+# Checked, per file in SCOPE:
+#   1. Markdown links  [text](target)      target must exist relative to the
+#      doc (external http(s)/mailto links and pure #fragments are skipped;
+#      a trailing #fragment on a repo path is stripped before the check).
+#   2. Line references `path.ext:NNN`      the file must exist and have at
+#      least NNN lines — stale line pins are the subtlest form of rot.
+#   3. Backticked paths `dir/file.ext`     any backticked token that looks
+#      like a repo path (contains a slash and a known source/doc extension)
+#      must exist. Brace groups `src/{a,b}.h` are expanded first.
+#
+# Usage: scripts/check_docs_links.sh [file.md ...]   # default: repo docs
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [[ $# -gt 0 ]]; then
+  scope=("$@")
+else
+  scope=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md)
+  while IFS= read -r doc; do scope+=("$doc"); done \
+    < <(find docs -name '*.md' 2>/dev/null | sort)
+fi
+
+# Extensions that mark a backticked token as a checkable repo path.
+path_ext='(h|cc|cmake|txt|md|sh|json|yml|yaml)'
+
+errors=0
+fail() {
+  echo "FAIL $1:$2: $3"
+  errors=$((errors + 1))
+}
+
+check_exists() {  # doc lineno ref kind
+  local doc="$1" lineno="$2" ref="$3" kind="$4"
+  # Resolve relative to the doc's directory, the repo root, or src/ (docs
+  # quote headers by their include path, e.g. `common/thread_pool.h`).
+  local base
+  base="$(dirname "$doc")"
+  if [[ ! -e "$base/$ref" && ! -e "$ref" && ! -e "src/$ref" ]]; then
+    fail "$doc" "$lineno" "$kind '$ref' does not exist"
+  fi
+}
+
+for doc in "${scope[@]}"; do
+  [[ -f "$doc" ]] || { echo "FAIL: scoped doc '$doc' missing"; errors=$((errors + 1)); continue; }
+  lineno=0
+  in_fence=0
+  while IFS= read -r line; do
+    lineno=$((lineno + 1))
+
+    # Fenced code blocks are code, not references: a C++ lambda such as
+    # `[](const Response& r)` would otherwise parse as a markdown link.
+    if [[ "$line" == '```'* ]]; then
+      in_fence=$((1 - in_fence))
+      continue
+    fi
+    (( in_fence )) && continue
+
+    # 1. Markdown links.
+    while IFS= read -r target; do
+      [[ -z "$target" ]] && continue
+      case "$target" in
+        http://*|https://*|mailto:*|'#'*) continue ;;
+      esac
+      check_exists "$doc" "$lineno" "${target%%#*}" "link target"
+    done < <(grep -oE '\]\(([^)]+)\)' <<<"$line" | sed -E 's/^\]\(//; s/\)$//')
+
+    # 2. `path.ext:NNN` line references.
+    while IFS= read -r ref; do
+      [[ -z "$ref" ]] && continue
+      local_path="${ref%:*}"
+      local_line="${ref##*:}"
+      if [[ ! -f "$local_path" ]]; then
+        fail "$doc" "$lineno" "line reference '$ref': file missing"
+      elif (( local_line > $(wc -l < "$local_path") )); then
+        fail "$doc" "$lineno" "line reference '$ref': file has only $(wc -l < "$local_path") lines"
+      fi
+    done < <(grep -oE '`[A-Za-z0-9_./-]+\.'"$path_ext"':[0-9]+`' <<<"$line" | tr -d '`')
+
+    # 3. Backticked repo paths (with brace-group expansion).
+    while IFS= read -r token; do
+      [[ -z "$token" ]] && continue
+      if [[ "$token" == *'{'* ]]; then
+        prefix="${token%%\{*}"
+        rest="${token#*\{}"
+        group="${rest%%\}*}"
+        suffix="${rest#*\}}"
+        IFS=',' read -ra parts <<<"$group"
+        for part in "${parts[@]}"; do
+          check_exists "$doc" "$lineno" "$prefix$part$suffix" "path"
+        done
+      else
+        check_exists "$doc" "$lineno" "$token" "path"
+      fi
+    done < <(grep -oE '`[A-Za-z0-9_./{},-]+\.'"$path_ext"'`' <<<"$line" \
+             | tr -d '`' | grep '/' || true)
+  done < "$doc"
+done
+
+if (( errors > 0 )); then
+  echo "docs link check: $errors broken reference(s)"
+  exit 1
+fi
+echo "docs link check: OK (${#scope[@]} files)"

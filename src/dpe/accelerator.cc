@@ -530,7 +530,7 @@ Expected<InferResult> DpeAccelerator::RunElement(
       current = std::move(out);
     }
   }
-  return InferResult{std::move(current), cost, FaultReport{}};
+  return InferResult{std::move(current), cost, FaultReport{}, CostReport{}};
 }
 
 void DpeAccelerator::CommitCalls(std::uint64_t elements) {

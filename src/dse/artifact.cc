@@ -1,0 +1,153 @@
+#include "dse/artifact.h"
+
+#include <cstdio>
+
+#include "device/noise_model.h"
+#include "dse/pareto.h"
+#include "workloads/workloads.h"
+
+namespace cim::dse {
+namespace {
+
+// All numeric formatting funnels through here: explicit precision, no
+// locale, so the emitted bytes are a pure function of the values.
+template <typename... Args>
+void Appendf(std::string& out, const char* fmt, Args... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += buf;
+}
+
+void AppendSizeArray(std::string& out, const std::vector<std::size_t>& v) {
+  out += "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    Appendf(out, i == 0 ? "%zu" : ", %zu", v[i]);
+  }
+  out += "]";
+}
+
+void AppendIntArray(std::string& out, const std::vector<int>& v) {
+  out += "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    Appendf(out, i == 0 ? "%d" : ", %d", v[i]);
+  }
+  out += "]";
+}
+
+void AppendDoubleArray(std::string& out, const std::vector<double>& v) {
+  out += "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    Appendf(out, i == 0 ? "%.3f" : ", %.3f", v[i]);
+  }
+  out += "]";
+}
+
+}  // namespace
+
+SweepArtifact MakeArtifact(const std::string& mode, const SweepSpec& spec,
+                           const SweepDriver& driver,
+                           std::vector<PointResult> results) {
+  SweepArtifact artifact;
+  artifact.mode = mode;
+  artifact.spec = spec;
+  artifact.seed = driver.params().seed;
+  artifact.fault_cells = driver.params().fault_cells;
+  artifact.workload = driver.params().workload;
+  artifact.network_name = driver.workload().net.name;
+  artifact.pareto_indices = ParetoFrontIndices(ObjectivesOf(results));
+  artifact.results = std::move(results);
+  return artifact;
+}
+
+std::string WriteSweepJson(const SweepArtifact& artifact) {
+  const workloads::AppClass app = artifact.workload.app_class;
+  const workloads::Characteristics chars = workloads::CharacteristicsOf(app);
+
+  std::string out;
+  out.reserve(4096 + artifact.results.size() * 320);
+  out += "{\n";
+  out += "  \"bench\": \"dse_sweep\",\n";
+  Appendf(out, "  \"mode\": \"%s\",\n", artifact.mode.c_str());
+  Appendf(out, "  \"seed\": %llu,\n",
+          static_cast<unsigned long long>(artifact.seed));
+  Appendf(out, "  \"fault_cells\": %zu,\n", artifact.fault_cells);
+
+  out += "  \"workload\": {\n";
+  Appendf(out, "    \"network\": \"%s\",\n", artifact.network_name.c_str());
+  out += "    \"widths\": ";
+  AppendSizeArray(out, artifact.workload.widths);
+  out += ",\n";
+  Appendf(out, "    \"eval_samples\": %zu,\n", artifact.workload.eval_samples);
+  Appendf(out, "    \"app_class\": \"%s\",\n",
+          workloads::AppClassName(app).c_str());
+  Appendf(out, "    \"paper_cim_suitability\": \"%s\",\n",
+          workloads::LevelName(workloads::PaperCimSuitability(app)).c_str());
+  Appendf(out, "    \"cim_suitability_score\": %.4f\n",
+          workloads::CimSuitabilityScore(chars));
+  out += "  },\n";
+
+  out += "  \"spec\": {\n";
+  out += "    \"crossbar_sizes\": ";
+  AppendSizeArray(out, artifact.spec.crossbar_sizes);
+  out += ",\n    \"adc_bits\": ";
+  AppendIntArray(out, artifact.spec.adc_bits);
+  out += ",\n    \"cell_bits\": ";
+  AppendIntArray(out, artifact.spec.cell_bits);
+  out += ",\n    \"spare_tiles\": ";
+  AppendSizeArray(out, artifact.spec.spare_tiles);
+  out += ",\n    \"noise_sigmas\": ";
+  AppendDoubleArray(out, artifact.spec.noise_sigmas);
+  out += ",\n    \"kernels\": [";
+  for (std::size_t i = 0; i < artifact.spec.kernels.size(); ++i) {
+    Appendf(out, i == 0 ? "\"%s\"" : ", \"%s\"",
+            device::KernelPolicyName(artifact.spec.kernels[i]).c_str());
+  }
+  out += "]\n  },\n";
+
+  Appendf(out, "  \"point_count\": %zu,\n", artifact.results.size());
+  out += "  \"points\": [\n";
+  for (std::size_t i = 0; i < artifact.results.size(); ++i) {
+    const PointResult& r = artifact.results[i];
+    bool on_front = false;
+    for (std::size_t idx : artifact.pareto_indices) {
+      if (idx == r.point.index) {
+        on_front = true;
+        break;
+      }
+    }
+    out += "    {";
+    Appendf(out, "\"index\": %zu, ", r.point.index);
+    Appendf(out, "\"label\": \"%s\", ", r.point.Label().c_str());
+    Appendf(out, "\"crossbar_size\": %zu, ", r.point.crossbar_size);
+    Appendf(out, "\"adc_bits\": %d, ", r.point.adc_bits);
+    Appendf(out, "\"cell_bits\": %d, ", r.point.cell_bits);
+    Appendf(out, "\"spare_tiles\": %zu, ", r.point.spare_tiles);
+    Appendf(out, "\"noise_sigma\": %.3f, ", r.point.noise_sigma);
+    Appendf(out, "\"kernel\": \"%s\", ",
+            device::KernelPolicyName(r.point.kernel).c_str());
+    Appendf(out, "\"accuracy\": %.6f, ", r.objectives.accuracy);
+    Appendf(out, "\"noise_self_agreement\": %.6f, ", r.noise_self_agreement);
+    Appendf(out, "\"latency_ns\": %.3f, ", r.objectives.latency_ns);
+    Appendf(out, "\"energy_pj\": %.3f, ", r.objectives.energy_pj);
+    Appendf(out, "\"area_mm2\": %.6f, ", r.objectives.area_mm2);
+    Appendf(out, "\"arrays\": %zu, ", r.arrays_used);
+    Appendf(out, "\"array_area_um2\": %.3f, ", r.array_area_um2);
+    Appendf(out, "\"faults_detected\": %llu, ",
+            static_cast<unsigned long long>(r.faults_detected));
+    Appendf(out, "\"faults_degraded\": %llu, ",
+            static_cast<unsigned long long>(r.faults_degraded));
+    Appendf(out, "\"on_frontier\": %s}",
+            on_front ? "true" : "false");
+    out += i + 1 < artifact.results.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  Appendf(out, "  \"pareto_front_size\": %zu,\n",
+          artifact.pareto_indices.size());
+  out += "  \"pareto_front\": ";
+  AppendSizeArray(out, artifact.pareto_indices);
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace cim::dse

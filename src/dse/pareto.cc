@@ -1,0 +1,30 @@
+#include "dse/pareto.h"
+
+namespace cim::dse {
+
+bool Dominates(const Objectives& a, const Objectives& b) {
+  if (a.accuracy < b.accuracy) return false;
+  if (a.latency_ns > b.latency_ns) return false;
+  if (a.energy_pj > b.energy_pj) return false;
+  if (a.area_mm2 > b.area_mm2) return false;
+  return a.accuracy > b.accuracy || a.latency_ns < b.latency_ns ||
+         a.energy_pj < b.energy_pj || a.area_mm2 < b.area_mm2;
+}
+
+std::vector<std::size_t> ParetoFrontIndices(
+    std::span<const Objectives> points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j != i && Dominates(points[j], points[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace cim::dse

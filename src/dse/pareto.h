@@ -1,0 +1,34 @@
+// Pareto-frontier extraction over the four sweep objectives.
+//
+// The DSE harness scores every design point on {accuracy, latency, energy,
+// area}. Accuracy is maximized; the three costs are minimized. A point
+// dominates another when it is at least as good on every objective and
+// strictly better on at least one; the Pareto front is the set of points no
+// other point dominates — the "design quality of the frontier" the bench
+// artifact records.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cim::dse {
+
+struct Objectives {
+  double accuracy = 0.0;    // maximize (top-1 agreement fraction in [0, 1])
+  double latency_ns = 0.0;  // minimize
+  double energy_pj = 0.0;   // minimize
+  double area_mm2 = 0.0;    // minimize
+};
+
+// True when `a` is at least as good as `b` on every objective and strictly
+// better on at least one. Ties on all four objectives dominate in neither
+// direction, so duplicate-score points all stay on the front.
+[[nodiscard]] bool Dominates(const Objectives& a, const Objectives& b);
+
+// Indices of the non-dominated points, ascending. O(n^2) pairwise scan —
+// sweep grids are hundreds of points, not millions.
+[[nodiscard]] std::vector<std::size_t> ParetoFrontIndices(
+    std::span<const Objectives> points);
+
+}  // namespace cim::dse

@@ -1,0 +1,72 @@
+// Declarative design-space exploration spec (ROADMAP Open item 2, the
+// CIMFlow/CiMLoop-style sweep the paper's Table 2 / §IV argument calls for).
+//
+// A SweepSpec lists the values to visit on each configuration axis of the
+// DPE (crossbar geometry, ADC resolution, cell bits — and through them the
+// bit-slice count — spare tiles, device read noise, simulation kernel
+// policy). ExpandGrid turns the spec into the cartesian product of concrete
+// DesignPoints in a canonical row-major order, so a point's grid index — and
+// with it the RNG stream the driver derives per point — is a pure function
+// of the spec, never of evaluation order or thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "device/noise_model.h"
+#include "dpe/params.h"
+
+namespace cim::dse {
+
+// Sweep axes over dpe::DpeParams fields. An empty axis keeps the base
+// configuration's value (a one-point axis). Expansion order is row-major
+// with crossbar_sizes outermost and kernels innermost.
+struct SweepSpec {
+  std::vector<std::size_t> crossbar_sizes;  // array rows == cols == size
+  std::vector<int> adc_bits;                // array.adc.bits
+  // array.cell.cell_bits; the bit-slice count follows as
+  // DpeParams::slices() = ceil((weight_bits - 1) / cell_bits).
+  std::vector<int> cell_bits;
+  std::vector<std::size_t> spare_tiles;     // fault_tolerance.spare_tiles
+  std::vector<double> noise_sigmas;         // array.cell.read_noise_sigma
+  std::vector<device::KernelPolicy> kernels;
+
+  [[nodiscard]] Status Validate() const;
+  [[nodiscard]] std::size_t PointCount() const;
+
+  // The two grids bench_dse_sweep runs (shared with tests so the artifact
+  // shape is pinned in one place): a coarse smoke grid cheap enough for
+  // every sanitizer leg, and the fine full grid recorded as the BENCH
+  // artifact.
+  [[nodiscard]] static SweepSpec Smoke();
+  [[nodiscard]] static SweepSpec Full();
+};
+
+// One concrete configuration of the expanded grid.
+struct DesignPoint {
+  std::size_t index = 0;  // canonical row-major grid index
+  std::size_t crossbar_size = 128;
+  int adc_bits = 8;
+  int cell_bits = 2;
+  std::size_t spare_tiles = 0;
+  double noise_sigma = 0.0;
+  device::KernelPolicy kernel = device::KernelPolicy::kFastBitExact;
+
+  // Base params overlaid with this point's axis values. columns_per_adc
+  // follows the crossbar size (ISAAC shares one ADC per array), fault
+  // tolerance engages exactly when spare tiles are provisioned, and
+  // worker_threads is forced to 1: the sweep parallelizes across points,
+  // never inside one.
+  [[nodiscard]] dpe::DpeParams ToDpeParams(const dpe::DpeParams& base) const;
+
+  // Stable human-readable id, e.g. "xb64_adc6_cell2_sp0_sg0.050_fast-noise".
+  [[nodiscard]] std::string Label() const;
+};
+
+// Expand the spec against a base configuration in canonical order.
+[[nodiscard]] Expected<std::vector<DesignPoint>> ExpandGrid(
+    const SweepSpec& spec, const dpe::DpeParams& base);
+
+}  // namespace cim::dse
